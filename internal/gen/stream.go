@@ -1,0 +1,78 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"fastppr/internal/graph"
+)
+
+// RandomPermutationStream returns g's edge set in uniformly random order —
+// the paper's arrival model (m adversarially chosen edges, random order).
+func RandomPermutationStream(g *graph.Graph, rng *rand.Rand) []graph.Edge {
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+// DirichletStream generates m edge arrivals under the paper's Dirichlet
+// model: the source of the t-th edge is node u with probability
+// (d_u(t-1) + 1) / (t - 1 + n), where d_u is the out-degree accumulated so
+// far; the target is uniform over the other nodes. n fixed nodes 0..n-1.
+func DirichletStream(n, m int, rng *rand.Rand) []graph.Edge {
+	if n < 2 {
+		panic("gen: DirichletStream needs n >= 2")
+	}
+	// sources realizes the Dirichlet (Pólya urn) law: each node once, plus
+	// once per edge already emitted from it.
+	sources := make([]graph.NodeID, 0, n+m)
+	for i := 0; i < n; i++ {
+		sources = append(sources, graph.NodeID(i))
+	}
+	edges := make([]graph.Edge, 0, m)
+	for t := 0; t < m; t++ {
+		u := sources[rng.IntN(len(sources))]
+		var v graph.NodeID
+		for {
+			v = graph.NodeID(rng.IntN(n))
+			if v != u {
+				break
+			}
+		}
+		edges = append(edges, graph.Edge{From: u, To: v})
+		sources = append(sources, u)
+	}
+	return edges
+}
+
+// AdversarialExample1Stream returns the Example 1 gadget's edges in an order
+// chosen by the adversary: the whole gadget first (any order), then the
+// single killer edge u -> v_1 last. The caller replays this through the
+// incremental maintainer to observe the Omega(n) update burst.
+func AdversarialExample1Stream(n int, rng *rand.Rand) (stream []graph.Edge, killer graph.Edge, nodes ExampleNodes) {
+	g, nd := Example1(n)
+	stream = RandomPermutationStream(g, rng)
+	return stream, graph.Edge{From: nd.U, To: nd.V1}, nd
+}
+
+// SplitStream cuts an arrival stream at fraction f (0 < f < 1), returning
+// the prefix ("snapshot one") and suffix ("future edges"). Used by the link
+// prediction harness to emulate the paper's two dated Twitter snapshots.
+func SplitStream(stream []graph.Edge, f float64) (prefix, suffix []graph.Edge) {
+	cut := int(float64(len(stream)) * f)
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(stream) {
+		cut = len(stream)
+	}
+	return stream[:cut], stream[cut:]
+}
+
+// BuildFromStream constructs a graph by replaying a stream of edges.
+func BuildFromStream(stream []graph.Edge) *graph.Graph {
+	g := graph.New(0)
+	for _, e := range stream {
+		g.AddEdge(e.From, e.To)
+	}
+	return g
+}

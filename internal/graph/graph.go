@@ -1,0 +1,293 @@
+// Package graph provides a dynamic directed graph with O(1) random
+// out-neighbor sampling, the substrate underneath every random-walk
+// component in this repository.
+//
+// The graph supports concurrent readers and exclusive writers. Node IDs are
+// opaque 64-bit integers, matching the ID space of a large social network.
+// Adjacency is stored as append-only slices with swap-delete removal, so a
+// uniformly random out-neighbor is a single slice index — the operation the
+// Monte Carlo walkers perform billions of times.
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node. IDs need not be dense or contiguous.
+type NodeID int64
+
+// Edge is a directed edge From -> To.
+type Edge struct {
+	From, To NodeID
+}
+
+// String implements fmt.Stringer.
+func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
+
+// Graph is a dynamic directed multigraph. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Graph struct {
+	mu    sync.RWMutex
+	out   map[NodeID][]NodeID
+	in    map[NodeID][]NodeID
+	edges int
+}
+
+// New returns an empty graph. sizeHint pre-sizes the node tables and may be
+// zero.
+func New(sizeHint int) *Graph {
+	return &Graph{
+		out: make(map[NodeID][]NodeID, sizeHint),
+		in:  make(map[NodeID][]NodeID, sizeHint),
+	}
+}
+
+// AddNode ensures v exists (possibly with no edges). Adding an existing node
+// is a no-op.
+func (g *Graph) AddNode(v NodeID) {
+	g.mu.Lock()
+	g.addNodeLocked(v)
+	g.mu.Unlock()
+}
+
+func (g *Graph) addNodeLocked(v NodeID) {
+	if _, ok := g.out[v]; !ok {
+		g.out[v] = nil
+	}
+	if _, ok := g.in[v]; !ok {
+		g.in[v] = nil
+	}
+}
+
+// AddEdge inserts the directed edge u -> v, implicitly adding missing
+// endpoints. Parallel edges are permitted (the graph is a multigraph); the
+// caller decides whether duplicates make sense for its workload.
+func (g *Graph) AddEdge(u, v NodeID) {
+	g.mu.Lock()
+	g.addNodeLocked(u)
+	g.addNodeLocked(v)
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.edges++
+	g.mu.Unlock()
+}
+
+// RemoveEdge deletes one occurrence of u -> v. It reports whether an edge was
+// removed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !removeOne(g.out, u, v) {
+		return false
+	}
+	if !removeOne(g.in, v, u) {
+		// The two adjacency tables are updated together, so a missing
+		// reverse entry means internal corruption.
+		panic("graph: adjacency tables out of sync")
+	}
+	g.edges--
+	return true
+}
+
+// removeOne swap-deletes the first occurrence of target in adj[key].
+func removeOne(adj map[NodeID][]NodeID, key, target NodeID) bool {
+	s := adj[key]
+	for i, x := range s {
+		if x == target {
+			s[i] = s[len(s)-1]
+			adj[key] = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether at least one edge u -> v exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, x := range g.out[u] {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNode reports whether v is present.
+func (g *Graph) HasNode(v NodeID) bool {
+	g.mu.RLock()
+	_, ok := g.out[v]
+	g.mu.RUnlock()
+	return ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	n := len(g.out)
+	g.mu.RUnlock()
+	return n
+}
+
+// NumEdges returns the number of edges (counting multiplicity).
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	m := g.edges
+	g.mu.RUnlock()
+	return m
+}
+
+// OutDegree returns the out-degree of v (0 for unknown nodes).
+func (g *Graph) OutDegree(v NodeID) int {
+	g.mu.RLock()
+	d := len(g.out[v])
+	g.mu.RUnlock()
+	return d
+}
+
+// InDegree returns the in-degree of v (0 for unknown nodes).
+func (g *Graph) InDegree(v NodeID) int {
+	g.mu.RLock()
+	d := len(g.in[v])
+	g.mu.RUnlock()
+	return d
+}
+
+// OutNeighbors returns a copy of v's out-neighbor list.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]NodeID(nil), g.out[v]...)
+}
+
+// InNeighbors returns a copy of v's in-neighbor list.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]NodeID(nil), g.in[v]...)
+}
+
+// RandomOutNeighbor returns a uniformly random out-neighbor of v. ok is false
+// when v has no outgoing edges (a dangling node).
+func (g *Graph) RandomOutNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := g.out[v]
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[rng.IntN(len(s))], true
+}
+
+// RandomInNeighbor returns a uniformly random in-neighbor of v. ok is false
+// when v has no incoming edges.
+func (g *Graph) RandomInNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := g.in[v]
+	if len(s) == 0 {
+		return 0, false
+	}
+	return s[rng.IntN(len(s))], true
+}
+
+// Nodes returns all node IDs in ascending order. The slice is freshly
+// allocated.
+func (g *Graph) Nodes() []NodeID {
+	g.mu.RLock()
+	nodes := make([]NodeID, 0, len(g.out))
+	for v := range g.out {
+		nodes = append(nodes, v)
+	}
+	g.mu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// Edges returns every edge (with multiplicity) in unspecified order.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	edges := make([]Edge, 0, g.edges)
+	for u, outs := range g.out {
+		for _, v := range outs {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	return edges
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c := New(len(g.out))
+	for u, outs := range g.out {
+		c.out[u] = append([]NodeID(nil), outs...)
+	}
+	for v, ins := range g.in {
+		c.in[v] = append([]NodeID(nil), ins...)
+	}
+	c.edges = g.edges
+	return c
+}
+
+// RandomEdge returns a uniformly random edge (by multiplicity). ok is false
+// on an empty graph. Sampling is proportional to out-degree: pick a node by
+// linear scan over cumulative degree. O(n); intended for experiment setup,
+// not hot paths.
+func (g *Graph) RandomEdge(rng *rand.Rand) (e Edge, ok bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.edges == 0 {
+		return Edge{}, false
+	}
+	k := rng.IntN(g.edges)
+	for u, outs := range g.out {
+		if k < len(outs) {
+			return Edge{u, outs[k]}, true
+		}
+		k -= len(outs)
+	}
+	panic("graph: edge count out of sync")
+}
+
+// Validate checks internal invariants (forward/backward adjacency agreement
+// and the edge counter). Intended for tests and debugging; O(m log m).
+func (g *Graph) Validate() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fwd := 0
+	for _, outs := range g.out {
+		fwd += len(outs)
+	}
+	bwd := 0
+	for _, ins := range g.in {
+		bwd += len(ins)
+	}
+	if fwd != bwd || fwd != g.edges {
+		return fmt.Errorf("graph: edge counts disagree: out=%d in=%d counter=%d", fwd, bwd, g.edges)
+	}
+	type pair = Edge
+	count := make(map[pair]int, fwd)
+	for u, outs := range g.out {
+		for _, v := range outs {
+			count[pair{u, v}]++
+		}
+	}
+	for v, ins := range g.in {
+		for _, u := range ins {
+			count[pair{u, v}]--
+		}
+	}
+	for e, c := range count {
+		if c != 0 {
+			return fmt.Errorf("graph: edge %v multiplicity mismatch (%+d)", e, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package socialstore simulates the paper's "Social Store" — the
+// distributed shared-memory database (FlockDB at Twitter) that holds the
+// social graph and serves random-access adjacency queries.
+//
+// The store wraps a dynamic graph with (a) sharding, so per-shard access
+// counts can be inspected the way an operator of a distributed store would,
+// and (b) call accounting, because the paper's personalized-query analysis
+// (Theorem 8, Figure 6) is entirely about the number of calls made to this
+// database. Optionally every call accrues simulated network latency so
+// experiments can report wall-clock-like costs without sleeping.
+//
+// The in-memory sharded implementation preserves the behaviour that matters
+// to the paper: uniform random access to adjacency lists and an exact count
+// of round trips. Nothing in the analysis depends on the store actually
+// being remote.
+package socialstore
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fastppr/internal/graph"
+)
+
+// Metrics is a snapshot of the store's access counters.
+type Metrics struct {
+	Reads            int64         // adjacency/degree read calls
+	Writes           int64         // edge mutations
+	Fetches          int64         // full "fetch" operations (Section 3)
+	SimulatedLatency time.Duration // accumulated simulated round-trip time
+	PerShardReads    []int64       // reads by shard
+}
+
+// Store is a sharded, call-counted facade over the social graph. All methods
+// are safe for concurrent use.
+type Store struct {
+	g          *graph.Graph
+	shards     int
+	perCall    time.Duration
+	reads      atomic.Int64
+	writes     atomic.Int64
+	fetches    atomic.Int64
+	latency    atomic.Int64 // nanoseconds
+	shardReads []atomic.Int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithShards sets the number of simulated shards (default 16).
+func WithShards(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.shards = n
+		}
+	}
+}
+
+// WithSimulatedLatency accrues d of simulated latency per store call. No
+// actual sleeping happens; the total is reported in Metrics.
+func WithSimulatedLatency(d time.Duration) Option {
+	return func(s *Store) { s.perCall = d }
+}
+
+// New wraps g. The graph remains owned by the caller; mutations must go
+// through the store so write counters stay meaningful.
+func New(g *graph.Graph, opts ...Option) *Store {
+	s := &Store{g: g, shards: 16}
+	for _, o := range opts {
+		o(s)
+	}
+	s.shardReads = make([]atomic.Int64, s.shards)
+	return s
+}
+
+// Graph exposes the underlying graph for components that are colocated with
+// the store (the paper's PageRank Store is "emulated on top of FlockDB" and
+// does not pay a round trip per walk step during local maintenance).
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+func (s *Store) shardOf(v graph.NodeID) int {
+	h := uint64(v) * 0x9e3779b97f4a7c15 // Fibonacci hashing for spread
+	return int(h % uint64(s.shards))
+}
+
+func (s *Store) countRead(v graph.NodeID) {
+	s.reads.Add(1)
+	s.shardReads[s.shardOf(v)].Add(1)
+	if s.perCall > 0 {
+		s.latency.Add(int64(s.perCall))
+	}
+}
+
+// AddEdge writes the edge u -> v.
+func (s *Store) AddEdge(u, v graph.NodeID) {
+	s.writes.Add(1)
+	if s.perCall > 0 {
+		s.latency.Add(int64(s.perCall))
+	}
+	s.g.AddEdge(u, v)
+}
+
+// RemoveEdge deletes one occurrence of u -> v, reporting whether it existed.
+func (s *Store) RemoveEdge(u, v graph.NodeID) bool {
+	s.writes.Add(1)
+	if s.perCall > 0 {
+		s.latency.Add(int64(s.perCall))
+	}
+	return s.g.RemoveEdge(u, v)
+}
+
+// OutNeighbors reads v's out-adjacency list (one store call).
+func (s *Store) OutNeighbors(v graph.NodeID) []graph.NodeID {
+	s.countRead(v)
+	return s.g.OutNeighbors(v)
+}
+
+// InNeighbors reads v's in-adjacency list (one store call).
+func (s *Store) InNeighbors(v graph.NodeID) []graph.NodeID {
+	s.countRead(v)
+	return s.g.InNeighbors(v)
+}
+
+// OutDegree reads v's out-degree (one store call).
+func (s *Store) OutDegree(v graph.NodeID) int {
+	s.countRead(v)
+	return s.g.OutDegree(v)
+}
+
+// CountFetch records one fetch operation against the store. The fetch
+// payload itself (neighbors + walk segments) is assembled by the
+// personalized-query layer, which colocates the walk-segment store; this
+// counter is the quantity Theorem 8 bounds.
+func (s *Store) CountFetch() {
+	s.fetches.Add(1)
+	if s.perCall > 0 {
+		s.latency.Add(int64(s.perCall))
+	}
+}
+
+// ResetMetrics zeroes all counters.
+func (s *Store) ResetMetrics() {
+	s.reads.Store(0)
+	s.writes.Store(0)
+	s.fetches.Store(0)
+	s.latency.Store(0)
+	for i := range s.shardReads {
+		s.shardReads[i].Store(0)
+	}
+}
+
+// Metrics returns a snapshot of the counters.
+func (s *Store) Metrics() Metrics {
+	m := Metrics{
+		Reads:            s.reads.Load(),
+		Writes:           s.writes.Load(),
+		Fetches:          s.fetches.Load(),
+		SimulatedLatency: time.Duration(s.latency.Load()),
+		PerShardReads:    make([]int64, s.shards),
+	}
+	for i := range s.shardReads {
+		m.PerShardReads[i] = s.shardReads[i].Load()
+	}
+	return m
+}

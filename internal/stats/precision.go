@@ -1,0 +1,74 @@
+package stats
+
+import "fastppr/internal/graph"
+
+// PrecisionRecallPoint is one point on a precision–recall curve.
+type PrecisionRecallPoint struct {
+	Recall    float64
+	Precision float64
+}
+
+// PrecisionRecallCurve computes precision and recall after each rank of
+// retrieved against the relevant set. retrieved is an ordered ranking;
+// relevant is the ground-truth set. Duplicate retrieved entries count once.
+func PrecisionRecallCurve(retrieved []graph.NodeID, relevant map[graph.NodeID]bool) []PrecisionRecallPoint {
+	if len(relevant) == 0 {
+		return nil
+	}
+	seen := make(map[graph.NodeID]bool, len(retrieved))
+	hits := 0
+	out := make([]PrecisionRecallPoint, 0, len(retrieved))
+	rank := 0
+	for _, v := range retrieved {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		rank++
+		if relevant[v] {
+			hits++
+		}
+		out = append(out, PrecisionRecallPoint{
+			Recall:    float64(hits) / float64(len(relevant)),
+			Precision: float64(hits) / float64(rank),
+		})
+	}
+	return out
+}
+
+// InterpolatedPrecision11 computes the 11-point interpolated average
+// precision curve (Manning–Raghavan–Schütze, the metric of the paper's
+// Figure 5): for each recall level r in {0.0, 0.1, ..., 1.0} it reports the
+// maximum precision achieved at any point with recall >= r (0 if recall r is
+// never reached).
+func InterpolatedPrecision11(curve []PrecisionRecallPoint) [11]float64 {
+	var out [11]float64
+	for i := 0; i <= 10; i++ {
+		level := float64(i) / 10
+		best := 0.0
+		for _, p := range curve {
+			if p.Recall >= level-1e-12 && p.Precision > best {
+				best = p.Precision
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// MeanCurves averages several 11-point curves elementwise.
+func MeanCurves(curves [][11]float64) [11]float64 {
+	var out [11]float64
+	if len(curves) == 0 {
+		return out
+	}
+	for _, c := range curves {
+		for i := range out {
+			out[i] += c[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(curves))
+	}
+	return out
+}

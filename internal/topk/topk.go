@@ -1,0 +1,90 @@
+// Package topk provides bounded top-k selection over (id, score) pairs using
+// a min-heap, the standard tool for extracting the highest personalized
+// scores without materializing a full sort.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"fastppr/internal/graph"
+)
+
+// Item is a scored node.
+type Item struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// Collector keeps the k highest-scoring items seen so far. Ties are broken
+// toward lower node IDs so results are deterministic. The zero value is not
+// usable; use New.
+type Collector struct {
+	k int
+	h itemHeap
+}
+
+// New returns a collector holding at most k items. k must be positive.
+func New(k int) *Collector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Collector{k: k, h: make(itemHeap, 0, k)}
+}
+
+// Offer considers one item.
+func (c *Collector) Offer(node graph.NodeID, score float64) {
+	if len(c.h) < c.k {
+		heap.Push(&c.h, Item{node, score})
+		return
+	}
+	if less(Item{node, score}, c.h[0]) {
+		return
+	}
+	c.h[0] = Item{node, score}
+	heap.Fix(&c.h, 0)
+}
+
+// Len returns the number of items currently held.
+func (c *Collector) Len() int { return len(c.h) }
+
+// Items returns the held items in descending score order (ties by ascending
+// node ID). The collector remains usable afterwards.
+func (c *Collector) Items() []Item {
+	out := append([]Item(nil), c.h...)
+	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	return out
+}
+
+// TopK returns the k highest-scoring entries of scores, descending.
+func TopK(scores map[graph.NodeID]float64, k int) []Item {
+	c := New(k)
+	for v, s := range scores {
+		c.Offer(v, s)
+	}
+	return c.Items()
+}
+
+// less orders items ascending by score, with higher node IDs treated as
+// smaller on ties (so the min-heap evicts the larger ID first and the
+// returned ranking prefers lower IDs).
+func less(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Node > b.Node
+}
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int            { return len(h) }
+func (h itemHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,186 @@
+// Package walk implements the random-walk primitives shared by the global
+// and personalized PageRank components: geometric-length "reset" walks
+// (Section 2.1 of the paper) and the alternating forward/backward walks used
+// by SALSA (Section 2.3).
+//
+// A PageRank walk segment simulates one continuous surfer session: starting
+// at a source node it repeatedly follows a uniformly random out-edge, and
+// before every step it resets (terminates the segment) with probability eps.
+// Segment lengths are therefore geometric with mean 1/eps steps. Dangling
+// nodes (out-degree zero) force a reset, the standard Monte Carlo
+// convention, which matches the paper's walk semantics where every visit
+// ends a session if no edge can be followed.
+package walk
+
+import (
+	"math/rand/v2"
+
+	"fastppr/internal/graph"
+)
+
+// Direction tags a SALSA step.
+type Direction int8
+
+const (
+	// Forward follows an out-edge (hub -> authority).
+	Forward Direction = iota
+	// Backward follows an in-edge (authority -> hub).
+	Backward
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// Segment is the recorded path of one reset-terminated walk. Path[0] is the
+// walk's source; Path[len-1] is where the reset occurred. A segment of
+// length 1 means the very first step reset (or the source is dangling).
+type Segment struct {
+	Path []graph.NodeID
+}
+
+// Source returns the segment's starting node.
+func (s *Segment) Source() graph.NodeID { return s.Path[0] }
+
+// Len returns the number of visited nodes.
+func (s *Segment) Len() int { return len(s.Path) }
+
+// Neighborer is the adjacency access the walkers need. *graph.Graph
+// implements it; the social store wraps it with call accounting.
+type Neighborer interface {
+	RandomOutNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool)
+	RandomInNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool)
+}
+
+// PageRank generates one PageRank walk segment from source: before each
+// step, with probability eps the walk resets and the segment ends; otherwise
+// it moves to a uniformly random out-neighbor. A dangling node ends the
+// segment. The returned path always contains at least the source.
+func PageRank(g Neighborer, source graph.NodeID, eps float64, rng *rand.Rand) Segment {
+	path := []graph.NodeID{source}
+	cur := source
+	for {
+		if rng.Float64() < eps {
+			break
+		}
+		next, ok := g.RandomOutNeighbor(cur, rng)
+		if !ok {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return Segment{Path: path}
+}
+
+// Continue extends an existing partial path from cur with fresh geometric
+// continuation: the same loop as PageRank but without re-emitting cur.
+// It returns the freshly visited nodes (possibly empty). Used when an edge
+// arrival reroutes a stored segment mid-path: the truncated prefix keeps its
+// visits and Continue supplies the new tail.
+func Continue(g Neighborer, cur graph.NodeID, eps float64, rng *rand.Rand) []graph.NodeID {
+	var tail []graph.NodeID
+	for {
+		if rng.Float64() < eps {
+			break
+		}
+		next, ok := g.RandomOutNeighbor(cur, rng)
+		if !ok {
+			break
+		}
+		tail = append(tail, next)
+		cur = next
+	}
+	return tail
+}
+
+// SalsaSegment is the recorded path of one SALSA walk together with the
+// direction of its first step. Steps alternate direction; position i of the
+// path was reached by a step of direction StepDirection(i).
+type SalsaSegment struct {
+	Path  []graph.NodeID
+	First Direction
+}
+
+// Source returns the segment's starting node.
+func (s *SalsaSegment) Source() graph.NodeID { return s.Path[0] }
+
+// Len returns the number of visited nodes.
+func (s *SalsaSegment) Len() int { return len(s.Path) }
+
+// StepDirection returns the direction of the step that arrived at Path[i]
+// (i >= 1). Steps alternate starting from First.
+func (s *SalsaSegment) StepDirection(i int) Direction {
+	if (i-1)%2 == 0 {
+		return s.First
+	}
+	return 1 - s.First
+}
+
+// DirectionAt returns the direction of the step taken *from* Path[i], i.e.
+// the direction of step i+1. For i == len-1 no step was taken.
+func (s *SalsaSegment) DirectionAt(i int) Direction {
+	if i%2 == 0 {
+		return s.First
+	}
+	return 1 - s.First
+}
+
+// Salsa generates one SALSA walk segment from source. Steps alternate
+// between the first direction and its opposite; the walk may reset only
+// before a Forward step (with probability eps), matching Section 2.3, so the
+// expected length is 2/eps steps. A node without edges in the required
+// direction ends the segment.
+func Salsa(g Neighborer, source graph.NodeID, first Direction, eps float64, rng *rand.Rand) SalsaSegment {
+	path := []graph.NodeID{source}
+	cur := source
+	dir := first
+	for {
+		if dir == Forward && rng.Float64() < eps {
+			break
+		}
+		var next graph.NodeID
+		var ok bool
+		if dir == Forward {
+			next, ok = g.RandomOutNeighbor(cur, rng)
+		} else {
+			next, ok = g.RandomInNeighbor(cur, rng)
+		}
+		if !ok {
+			break
+		}
+		path = append(path, next)
+		cur = next
+		dir = 1 - dir
+	}
+	return SalsaSegment{Path: path, First: first}
+}
+
+// ContinueSalsa extends a SALSA walk from cur where the next step has
+// direction dir. It returns the freshly visited nodes.
+func ContinueSalsa(g Neighborer, cur graph.NodeID, dir Direction, eps float64, rng *rand.Rand) []graph.NodeID {
+	var tail []graph.NodeID
+	for {
+		if dir == Forward && rng.Float64() < eps {
+			break
+		}
+		var next graph.NodeID
+		var ok bool
+		if dir == Forward {
+			next, ok = g.RandomOutNeighbor(cur, rng)
+		} else {
+			next, ok = g.RandomInNeighbor(cur, rng)
+		}
+		if !ok {
+			break
+		}
+		tail = append(tail, next)
+		cur = next
+		dir = 1 - dir
+	}
+	return tail
+}

@@ -1,0 +1,306 @@
+// Package walkstore implements the paper's "PageRank Store": the database
+// of random walk segments kept alongside the social graph (Section 2.2).
+//
+// For every node the store holds the segments that node owns, and — the key
+// to cheap incremental updates — an inverted visit index mapping each node v
+// to the set of segments that pass through v, plus the counters the paper
+// names explicitly:
+//
+//	X_v  — total number of visits to v across all stored segments, the
+//	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR);
+//	W(v) — number of distinct stored segments visiting v, used by the
+//	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path.
+//
+// The store is deliberately agnostic about what a segment means: it stores
+// node paths. The PageRank maintainer stores reset walks; the SALSA
+// maintainer stores alternating walks and keeps the per-segment direction
+// bit itself. An optional observer receives every visit mutation so callers
+// can maintain derived counters (SALSA's hub/authority tallies) without a
+// second index.
+package walkstore
+
+import (
+	"fmt"
+	"sync"
+
+	"fastppr/internal/graph"
+)
+
+// SegmentID identifies a stored segment.
+type SegmentID int64
+
+// Observer is notified of visit-count mutations: delta is +1 when a segment
+// gains a visit to node at path position pos, -1 when it loses one.
+type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
+
+// Store holds walk segments with an inverted visit index. All methods are
+// safe for concurrent use.
+type Store struct {
+	mu          sync.RWMutex
+	paths       map[SegmentID][]graph.NodeID
+	owned       map[graph.NodeID][]SegmentID
+	visitors    map[graph.NodeID]map[SegmentID]int // multiplicity per segment
+	visits      map[graph.NodeID]int64             // X_v
+	totalVisits int64
+	nextID      SegmentID
+	observer    Observer
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		paths:    make(map[SegmentID][]graph.NodeID),
+		owned:    make(map[graph.NodeID][]SegmentID),
+		visitors: make(map[graph.NodeID]map[SegmentID]int),
+		visits:   make(map[graph.NodeID]int64),
+	}
+}
+
+// SetObserver installs an observer for visit mutations. Must be called
+// before any segments are added; the observer then sees every mutation.
+func (s *Store) SetObserver(o Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.paths) != 0 {
+		panic("walkstore: SetObserver after segments were added")
+	}
+	s.observer = o
+}
+
+// Add stores a new segment owned by its first node and returns its ID.
+// The path must be non-empty.
+func (s *Store) Add(path []graph.NodeID) SegmentID {
+	if len(path) == 0 {
+		panic("walkstore: empty segment path")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	p := append([]graph.NodeID(nil), path...)
+	s.paths[id] = p
+	src := p[0]
+	s.owned[src] = append(s.owned[src], id)
+	for pos, v := range p {
+		s.addVisitLocked(id, v, pos)
+	}
+	return id
+}
+
+func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
+	m := s.visitors[v]
+	if m == nil {
+		m = make(map[SegmentID]int)
+		s.visitors[v] = m
+	}
+	m[id]++
+	s.visits[v]++
+	s.totalVisits++
+	if s.observer != nil {
+		s.observer(id, v, pos, +1)
+	}
+}
+
+func (s *Store) removeVisitLocked(id SegmentID, v graph.NodeID, pos int) {
+	m := s.visitors[v]
+	if m == nil || m[id] == 0 {
+		panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, v))
+	}
+	m[id]--
+	if m[id] == 0 {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(s.visitors, v)
+		}
+	}
+	s.visits[v]--
+	if s.visits[v] == 0 {
+		delete(s.visits, v)
+	}
+	s.totalVisits--
+	if s.observer != nil {
+		s.observer(id, v, pos, -1)
+	}
+}
+
+// Path returns the segment's node path. The returned slice must not be
+// modified; it is the store's copy, shared for speed on the update hot path.
+func (s *Store) Path(id SegmentID) []graph.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.paths[id]
+	if !ok {
+		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
+	}
+	return p
+}
+
+// OwnedBy returns the IDs of segments whose walks start at u, in insertion
+// order. The returned slice is a copy.
+func (s *Store) OwnedBy(u graph.NodeID) []SegmentID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SegmentID(nil), s.owned[u]...)
+}
+
+// Visitors returns the IDs of segments that visit v. Order is unspecified.
+func (s *Store) Visitors(v graph.NodeID) []SegmentID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m := s.visitors[v]
+	ids := make([]SegmentID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// W returns the number of distinct segments visiting v — the paper's W(v).
+func (s *Store) W(v graph.NodeID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.visitors[v])
+}
+
+// Visits returns X_v, the total visit count of v across stored segments.
+func (s *Store) Visits(v graph.NodeID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.visits[v]
+}
+
+// TotalVisits returns the sum of X_v over all nodes (= total stored steps).
+func (s *Store) TotalVisits() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalVisits
+}
+
+// VisitCounts returns a copy of the full X_v table.
+func (s *Store) VisitCounts() map[graph.NodeID]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[graph.NodeID]int64, len(s.visits))
+	for v, x := range s.visits {
+		out[v] = x
+	}
+	return out
+}
+
+// NumSegments returns the number of stored segments.
+func (s *Store) NumSegments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.paths)
+}
+
+// ReplaceTail truncates the segment to its first keep nodes (keep >= 1) and
+// appends newTail, updating the visit index. It returns the number of
+// removed and added visits, which the maintainer accounts as update work.
+func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (removed, added int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.paths[id]
+	if !ok {
+		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
+	}
+	if keep < 1 || keep > len(p) {
+		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, len(p)))
+	}
+	for pos := len(p) - 1; pos >= keep; pos-- {
+		s.removeVisitLocked(id, p[pos], pos)
+		removed++
+	}
+	p = p[:keep]
+	for _, v := range newTail {
+		p = append(p, v)
+		s.addVisitLocked(id, v, len(p)-1)
+		added++
+	}
+	s.paths[id] = p
+	return removed, added
+}
+
+// Remove deletes a segment entirely, unwinding its visits. Used when a node
+// is retired or a maintainer is rebuilt.
+func (s *Store) Remove(id SegmentID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.paths[id]
+	if !ok {
+		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
+	}
+	for pos := len(p) - 1; pos >= 0; pos-- {
+		s.removeVisitLocked(id, p[pos], pos)
+	}
+	src := p[0]
+	ids := s.owned[src]
+	for i, x := range ids {
+		if x == id {
+			s.owned[src] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(s.owned[src]) == 0 {
+		delete(s.owned, src)
+	}
+	delete(s.paths, id)
+}
+
+// Validate checks the visit index and counters against the stored paths.
+// O(total path length); for tests.
+func (s *Store) Validate() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	wantVisits := make(map[graph.NodeID]int64)
+	wantVisitors := make(map[graph.NodeID]map[SegmentID]int)
+	var total int64
+	for id, p := range s.paths {
+		if len(p) == 0 {
+			return fmt.Errorf("walkstore: segment %d has empty path", id)
+		}
+		for _, v := range p {
+			wantVisits[v]++
+			total++
+			if wantVisitors[v] == nil {
+				wantVisitors[v] = make(map[SegmentID]int)
+			}
+			wantVisitors[v][id]++
+		}
+		owned := false
+		for _, x := range s.owned[p[0]] {
+			if x == id {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			return fmt.Errorf("walkstore: segment %d missing from owner index of node %d", id, p[0])
+		}
+	}
+	if total != s.totalVisits {
+		return fmt.Errorf("walkstore: totalVisits=%d want %d", s.totalVisits, total)
+	}
+	if len(wantVisits) != len(s.visits) {
+		return fmt.Errorf("walkstore: visit table has %d nodes, want %d", len(s.visits), len(wantVisits))
+	}
+	for v, x := range wantVisits {
+		if s.visits[v] != x {
+			return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, s.visits[v], x)
+		}
+		if len(s.visitors[v]) != len(wantVisitors[v]) {
+			return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, len(s.visitors[v]), len(wantVisitors[v]))
+		}
+		for id, c := range wantVisitors[v] {
+			if s.visitors[v][id] != c {
+				return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, s.visitors[v][id], c)
+			}
+		}
+	}
+	for id := range s.owned {
+		if len(s.owned[id]) == 0 {
+			return fmt.Errorf("walkstore: empty owner slot for node %d", id)
+		}
+	}
+	return nil
+}
