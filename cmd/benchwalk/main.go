@@ -1,0 +1,208 @@
+// Command benchwalk is the reproducible walk-engine benchmark: it builds a
+// preferential-attachment graph, times full walk-store construction (n·R
+// segments) and an edge-arrival update storm at several worker counts, and
+// writes the results to a JSON file (BENCH_walkgen.json at the repo root by
+// convention) so the performance trajectory is tracked across PRs.
+//
+// Usage:
+//
+//	go run ./cmd/benchwalk                  # full run: n=100k, d=10
+//	go run ./cmd/benchwalk -smoke           # small CI-sized run
+//	go run ./cmd/benchwalk -workers 1,4,8   # explicit worker counts
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastppr/internal/engine"
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+type runResult struct {
+	Workers       int     `json:"workers"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	Segments      int     `json:"segments"`
+	BuildSteps    int64   `json:"build_steps"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	UpdateSeconds float64 `json:"update_seconds"`
+	UpdateEdges   int     `json:"update_edges"`
+	Rerouted      int64   `json:"rerouted_segments"`
+	EdgesPerSec   float64 `json:"update_edges_per_sec"`
+}
+
+type report struct {
+	Timestamp    string      `json:"timestamp"`
+	GoVersion    string      `json:"go_version"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	Nodes        int         `json:"nodes"`
+	EdgesPerNode int         `json:"edges_per_node"`
+	GraphEdges   int         `json:"graph_edges"`
+	R            int         `json:"segments_per_node"`
+	Eps          float64     `json:"eps"`
+	Seed         uint64      `json:"seed"`
+	Runs         []runResult `json:"runs"`
+	// SpeedupBuild is max-worker build throughput over the 1-worker run —
+	// the number the ISSUE's ≥3× acceptance criterion tracks (only
+	// meaningful on a multi-core host; see GOMAXPROCS).
+	SpeedupBuild float64 `json:"speedup_build"`
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 100_000, "graph nodes")
+		d       = flag.Int("d", 10, "out-edges per node (preferential attachment)")
+		r       = flag.Int("r", 8, "walk segments per node (the paper's R)")
+		eps     = flag.Float64("eps", 0.2, "walk reset probability")
+		updates = flag.Int("updates", 20_000, "edge arrivals in the update storm")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		out     = flag.String("out", "BENCH_walkgen.json", "output JSON path ('' to skip)")
+		workers = flag.String("workers", "", "comma-separated worker counts (default 1,P/2,P)")
+		smoke   = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
+	)
+	flag.Parse()
+	if *smoke {
+		*n, *d, *r, *updates = 2_000, 5, 4, 500
+	}
+	if *eps <= 0 || *eps > 1 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -eps must be in (0, 1], got %g\n", *eps)
+		os.Exit(2)
+	}
+	if *n < 2 || *d < 1 || *r < 1 {
+		fmt.Fprintln(os.Stderr, "benchwalk: need -n >= 2, -d >= 1, -r >= 1")
+		os.Exit(2)
+	}
+
+	p := runtime.GOMAXPROCS(0)
+	counts := workerCounts(*workers, p)
+
+	fmt.Printf("benchwalk: building preferential-attachment graph n=%d d=%d (GOMAXPROCS=%d)\n", *n, *d, p)
+	rng := rand.New(rand.NewPCG(*seed, 0))
+	base := gen.PreferentialAttachment(*n, *d, rng)
+	nodes := base.Nodes()
+	storm := updateStorm(*n, *updates, rng)
+
+	rep := report{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   p,
+		Nodes:        *n,
+		EdgesPerNode: *d,
+		GraphEdges:   base.NumEdges(),
+		R:            *r,
+		Eps:          *eps,
+		Seed:         *seed,
+	}
+
+	for _, w := range counts {
+		res := benchOne(base, nodes, storm, *r, *eps, *seed, w)
+		rep.Runs = append(rep.Runs, res)
+		fmt.Printf("workers=%-3d build %7.3fs (%.2fM steps/s)   storm %7.3fs (%.0f edges/s, %d rerouted)\n",
+			w, res.BuildSeconds, res.StepsPerSec/1e6, res.UpdateSeconds, res.EdgesPerSec, res.Rerouted)
+	}
+
+	if len(rep.Runs) > 1 {
+		first, last := rep.Runs[0], rep.Runs[len(rep.Runs)-1]
+		if first.StepsPerSec > 0 {
+			rep.SpeedupBuild = last.StepsPerSec / first.StepsPerSec
+		}
+		fmt.Printf("build speedup %dw vs %dw: %.2fx\n", last.Workers, first.Workers, rep.SpeedupBuild)
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// benchOne times store construction and the update storm at one worker
+// count, on a private clone of the graph so runs do not contaminate each
+// other.
+func benchOne(base *graph.Graph, nodes []graph.NodeID, storm []graph.Edge, r int, eps float64, seed uint64, w int) runResult {
+	g := base.Clone()
+	store := walkstore.New()
+	eng := engine.New(g, store, engine.Config{Eps: eps, R: r, Workers: w, Seed: seed})
+
+	t0 := time.Now()
+	steps := eng.BuildStore(nodes)
+	build := time.Since(t0)
+
+	t1 := time.Now()
+	stats := eng.ApplyEdges(storm, seed+1)
+	storming := time.Since(t1)
+
+	res := runResult{
+		Workers:       w,
+		BuildSeconds:  build.Seconds(),
+		Segments:      store.NumSegments(),
+		BuildSteps:    steps,
+		UpdateSeconds: storming.Seconds(),
+		UpdateEdges:   stats.Edges,
+		Rerouted:      stats.Rerouted,
+	}
+	if s := build.Seconds(); s > 0 {
+		res.StepsPerSec = float64(steps) / s
+	}
+	if s := storming.Seconds(); s > 0 {
+		res.EdgesPerSec = float64(stats.Edges) / s
+	}
+	return res
+}
+
+// updateStorm draws random new edges over the node ID space, the arrival
+// mix a live social graph would see.
+func updateStorm(n, m int, rng *rand.Rand) []graph.Edge {
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := graph.NodeID(rng.IntN(n))
+		v := graph.NodeID(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{From: u, To: v})
+	}
+	return edges
+}
+
+// workerCounts parses -workers, defaulting to {1, P/2, P} deduplicated and
+// ascending.
+func workerCounts(s string, p int) []int {
+	var counts []int
+	if s != "" {
+		for _, part := range strings.Split(s, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "benchwalk: bad -workers entry %q\n", part)
+				os.Exit(2)
+			}
+			counts = append(counts, w)
+		}
+	} else {
+		counts = []int{1, p / 2, p}
+	}
+	slices.Sort(counts)
+	counts = slices.Compact(counts)
+	for len(counts) > 0 && counts[0] < 1 {
+		counts = counts[1:]
+	}
+	return counts
+}

@@ -1,0 +1,3 @@
+module fastppr
+
+go 1.22

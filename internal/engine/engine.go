@@ -1,0 +1,324 @@
+// Package engine drives the Monte Carlo walk machinery in parallel: it
+// generates the paper's R reset-walk segments per node with a worker pool
+// (full-store construction, Section 2.2's preprocessing) and replays edge
+// arrivals through the paper's incremental update rule (Section 2.2's
+// maintenance loop), both against the sharded graph and the arena-backed
+// walk store.
+//
+// Design notes. Each worker owns a PCG random source (math/rand/v2), a
+// graph.Batcher, and a set of reusable path buffers, so the steady state
+// allocates nothing per segment. Segment generation runs as a lockstep
+// burst: up to Batch walkers advance together, one shard-grouped sampling
+// call per round, and finished bursts are flushed into the store through
+// AddBatch under a single lock acquisition. Edge updates stripe-lock on
+// SegmentID so two workers never reroute the same segment concurrently
+// while leaving unrelated segments fully parallel.
+package engine
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/walk"
+	"fastppr/internal/walkstore"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Eps is the walk reset probability; segment lengths are geometric with
+	// mean 1/Eps. Must be in (0, 1].
+	Eps float64
+	// R is the number of stored segments per node (the paper's R).
+	R int
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// Batch is the number of lockstep walkers per worker burst; 0 means 128.
+	Batch int
+	// Seed seeds the PCG sources. BuildStore derives one source per node
+	// chunk (PCG(Seed, chunkIndex)), so the generated walks are identical
+	// for any worker count; only segment IDs and store layout depend on
+	// scheduling. ApplyEdges derives per-worker sources and is not
+	// scheduling-deterministic.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Batch <= 0 {
+		c.Batch = 128
+	}
+	if c.R <= 0 {
+		c.R = 1
+	}
+	return c
+}
+
+// updateStripes is the number of per-segment locks serializing concurrent
+// reroutes of the same segment during ApplyEdges.
+const updateStripes = 512
+
+// Engine generates and maintains walk segments over a graph/store pair.
+// Methods are safe for concurrent use, though BuildStore is normally called
+// once.
+type Engine struct {
+	g     *graph.Graph
+	store *walkstore.Store
+	cfg   Config
+	segMu [updateStripes]sync.Mutex
+}
+
+// New returns an engine over g and store.
+func New(g *graph.Graph, store *walkstore.Store, cfg Config) *Engine {
+	if cfg.Eps <= 0 || cfg.Eps > 1 {
+		panic("engine: Eps must be in (0, 1]")
+	}
+	return &Engine{g: g, store: store, cfg: cfg.withDefaults()}
+}
+
+// Store returns the engine's walk store.
+func (e *Engine) Store() *walkstore.Store { return e.store }
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// BuildStore generates cfg.R segments for every node in nodes and stores
+// them, using the worker pool. It returns the total number of walk steps
+// taken (stored path nodes). Nodes are claimed in fixed-size chunks via an
+// atomic cursor, so the work balances even when segment lengths vary; each
+// chunk walks with its own PCG(Seed, chunkIndex) source, so the generated
+// paths do not depend on which worker claims which chunk.
+func (e *Engine) BuildStore(nodes []graph.NodeID) int64 {
+	cfg := e.cfg
+	const chunk = 256
+	var cursor, steps atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := newBurstGen(e.g, cfg.Batch, cfg.Eps)
+			var local int64
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(nodes) {
+					break
+				}
+				hi := min(lo+chunk, len(nodes))
+				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(lo/chunk)))
+				local += gen.run(e.store, nodes[lo:hi], cfg.R, rng)
+			}
+			steps.Add(local)
+		}()
+	}
+	wg.Wait()
+	return steps.Load()
+}
+
+// burstGen holds one worker's reusable lockstep-walk state.
+type burstGen struct {
+	g       *graph.Graph
+	batcher *graph.Batcher
+	eps     float64
+	batch   int
+	// Parallel arrays over alive walkers, compacted by swap-remove.
+	cur  []graph.NodeID
+	next []graph.NodeID
+	ok   []bool
+	slot []int // alive walker -> path buffer index
+	// One reusable path buffer per walker slot; flushed via AddBatch.
+	paths [][]graph.NodeID
+}
+
+func newBurstGen(g *graph.Graph, batch int, eps float64) *burstGen {
+	return &burstGen{
+		g:       g,
+		batcher: g.NewBatcher(),
+		eps:     eps,
+		batch:   batch,
+		cur:     make([]graph.NodeID, 0, batch),
+		next:    make([]graph.NodeID, batch),
+		ok:      make([]bool, batch),
+		slot:    make([]int, 0, batch),
+		paths:   make([][]graph.NodeID, batch),
+	}
+}
+
+// run generates r segments for every source in sources, flushing each burst
+// into store via AddBatch. It returns the number of stored steps.
+func (b *burstGen) run(store *walkstore.Store, sources []graph.NodeID, r int, rng *rand.Rand) int64 {
+	var steps int64
+	total := len(sources) * r
+	emitted := 0
+	for emitted < total {
+		n := min(b.batch, total-emitted)
+		// Seed the burst: walker i starts at sources[(emitted+i)/r].
+		b.cur = b.cur[:n]
+		b.slot = b.slot[:n]
+		for i := 0; i < n; i++ {
+			src := sources[(emitted+i)/r]
+			b.cur[i] = src
+			b.slot[i] = i
+			b.paths[i] = append(b.paths[i][:0], src)
+		}
+		emitted += n
+		// Lockstep rounds until every walker in the burst has reset.
+		for alive := n; alive > 0; {
+			// Reset phase: geometric termination before each step.
+			for i := 0; i < alive; {
+				if rng.Float64() < b.eps {
+					alive = b.retire(i, alive)
+					continue
+				}
+				i++
+			}
+			if alive == 0 {
+				break
+			}
+			// Step phase: one shard-grouped sampling call for the survivors.
+			b.batcher.RandomOutNeighbors(b.cur[:alive], b.next[:alive], b.ok[:alive], rng)
+			for i := 0; i < alive; {
+				if !b.ok[i] { // dangling node ends the segment
+					alive = b.retire(i, alive)
+					continue
+				}
+				b.cur[i] = b.next[i]
+				b.paths[b.slot[i]] = append(b.paths[b.slot[i]], b.next[i])
+				i++
+			}
+		}
+		store.AddBatch(b.paths[:n])
+		for i := 0; i < n; i++ {
+			steps += int64(len(b.paths[i]))
+		}
+	}
+	return steps
+}
+
+// retire swap-removes walker i from the alive prefix and returns the new
+// alive count. Its finished path stays in its slot for the burst flush.
+func (b *burstGen) retire(i, alive int) int {
+	alive--
+	b.cur[i] = b.cur[alive]
+	b.slot[i] = b.slot[alive]
+	b.next[i] = b.next[alive]
+	b.ok[i] = b.ok[alive]
+	return alive
+}
+
+// UpdateStats aggregates the work done by an ApplyEdges run.
+type UpdateStats struct {
+	Edges     int   // edge arrivals applied
+	Rerouted  int64 // segments whose tail was regenerated
+	StepsIn   int64 // visits added by reroutes
+	StepsOut  int64 // visits removed by reroutes
+	Candidate int64 // segment visits examined (the paper's W(u) work bound)
+}
+
+// ApplyEdges replays edge arrivals through the paper's update rule using the
+// worker pool: for each arriving edge (u, v), after inserting it the new
+// out-degree of u is d, and every stored walk step leaving u is redirected
+// through v with probability 1/d; a redirected segment keeps its prefix up
+// to that visit, steps to v, and continues with a fresh geometric walk.
+// An edge that takes u from dangling to degree 1 instead revives the walks
+// that died at u: each continues through the new edge with probability
+// 1-eps, restoring the geometric law. Distinct edges proceed in parallel;
+// reroutes of the same segment are serialized by SegmentID stripe locks.
+//
+// Caveat: when two goroutines insert the *first two* edges of the same
+// source concurrently, both may observe d=2 and skip the dangling revival.
+// Arrival streams are modeled after real social traffic where repeat edges
+// from one brand-new source inside one batch are rare; a strict maintainer
+// can serialize per-source if it needs exactness there.
+func (e *Engine) ApplyEdges(edges []graph.Edge, seed uint64) UpdateStats {
+	cfg := e.cfg
+	var cursor atomic.Int64
+	var stats UpdateStats
+	var statsMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(worker)))
+			var local UpdateStats
+			var tail []graph.NodeID
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(edges) {
+					break
+				}
+				ed := edges[i]
+				e.g.AddEdge(ed.From, ed.To)
+				local.Edges++
+				e.applyOne(ed, rng, &tail, &local)
+			}
+			statsMu.Lock()
+			stats.Edges += local.Edges
+			stats.Rerouted += local.Rerouted
+			stats.StepsIn += local.StepsIn
+			stats.StepsOut += local.StepsOut
+			stats.Candidate += local.Candidate
+			statsMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	return stats
+}
+
+// applyOne reroutes the stored segments affected by one inserted edge.
+func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, tail *[]graph.NodeID, stats *UpdateStats) {
+	u, v := ed.From, ed.To
+	d := e.g.OutDegree(u)
+	if d == 0 {
+		return
+	}
+	inv := 1.0 / float64(d)
+	// firstEdge: this arrival took u from dangling to degree 1. Every stored
+	// walk that visits u then ended there (a dangling node terminates every
+	// visit), so instead of rerouting mid-path steps we must revive the
+	// terminal visit: a fresh walk arriving at u now continues with
+	// probability 1-eps, and its only possible step is the new edge.
+	firstEdge := d == 1
+	for _, id := range e.store.Visitors(u) {
+		mu := &e.segMu[uint64(id)%updateStripes]
+		mu.Lock()
+		// Re-read under the stripe lock: another worker may have rerouted
+		// this segment since Visitors ran.
+		path := e.store.Path(id)
+		reroute := -1
+		for pos := 0; pos < len(path)-1; pos++ {
+			// Only non-terminal visits take an outgoing step that the new
+			// edge can capture.
+			if path[pos] != u {
+				continue
+			}
+			stats.Candidate++
+			if rng.Float64() < inv {
+				reroute = pos
+				break
+			}
+		}
+		if reroute < 0 && firstEdge && path[len(path)-1] == u {
+			stats.Candidate++
+			if rng.Float64() >= e.cfg.Eps {
+				reroute = len(path) - 1
+			}
+		}
+		if reroute < 0 {
+			mu.Unlock()
+			continue
+		}
+		*tail = append((*tail)[:0], v)
+		*tail = walk.AppendContinue(e.g, v, e.cfg.Eps, rng, *tail)
+		removed, added := e.store.ReplaceTail(id, reroute+1, *tail)
+		mu.Unlock()
+		stats.Rerouted++
+		stats.StepsOut += int64(removed)
+		stats.StepsIn += int64(added)
+	}
+}

@@ -2,18 +2,28 @@
 // out-neighbor sampling, the substrate underneath every random-walk
 // component in this repository.
 //
-// The graph supports concurrent readers and exclusive writers. Node IDs are
-// opaque 64-bit integers, matching the ID space of a large social network.
+// The graph supports concurrent readers and writers. Node IDs are opaque
+// 64-bit integers, matching the ID space of a large social network.
 // Adjacency is stored as append-only slices with swap-delete removal, so a
 // uniformly random out-neighbor is a single slice index — the operation the
 // Monte Carlo walkers perform billions of times.
+//
+// To keep that hot path scalable the adjacency tables are hash-partitioned
+// by NodeID into a power-of-two number of lock-striped shards: walkers whose
+// current nodes land on different shards never contend, and a Batcher
+// amortizes even the uncontended lock acquisition over a whole burst of
+// lockstep walkers. Operations that need a consistent global view (Edges,
+// Clone, Validate, RandomEdge) lock every shard in index order.
 package graph
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand/v2"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node. IDs need not be dense or contiguous.
@@ -27,38 +37,146 @@ type Edge struct {
 // String implements fmt.Stringer.
 func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
 
-// Graph is a dynamic directed multigraph. The zero value is not usable; use
-// New. All methods are safe for concurrent use.
-type Graph struct {
+// shard holds the adjacency rows of the nodes that hash to it. Both the
+// out-row and in-row of a node live on the node's own shard, so a single
+// shard lock covers every per-node read. The edges counter counts out-edges
+// whose source is on this shard (so the per-shard counters sum to the global
+// edge count).
+type shard struct {
 	mu    sync.RWMutex
 	out   map[NodeID][]NodeID
 	in    map[NodeID][]NodeID
-	edges int
+	edges int64
+	// Pad shards apart so the mutexes of neighboring shards do not share a
+	// cache line under write contention.
+	_ [48]byte
 }
 
-// New returns an empty graph. sizeHint pre-sizes the node tables and may be
-// zero.
+// Graph is a dynamic directed multigraph, hash-sharded by node. The zero
+// value is not usable; use New or NewWithShards. All methods are safe for
+// concurrent use.
+type Graph struct {
+	shards []shard
+	shift  uint // 64 - log2(len(shards)), for Fibonacci-hash shard selection
+	edges  atomic.Int64
+}
+
+// New returns an empty graph with a shard count derived from GOMAXPROCS.
+// sizeHint pre-sizes the per-shard node tables and may be zero.
 func New(sizeHint int) *Graph {
-	return &Graph{
-		out: make(map[NodeID][]NodeID, sizeHint),
-		in:  make(map[NodeID][]NodeID, sizeHint),
+	p := runtime.GOMAXPROCS(0)
+	n := nextPow2(4 * p)
+	if n < 8 {
+		n = 8
+	}
+	if n > 256 {
+		n = 256
+	}
+	return NewWithShards(sizeHint, n)
+}
+
+// NewWithShards returns an empty graph with an explicit shard count, rounded
+// up to a power of two. sizeHint pre-sizes the node tables and may be zero.
+func NewWithShards(sizeHint, shards int) *Graph {
+	if shards < 1 {
+		shards = 1
+	}
+	n := nextPow2(shards)
+	g := &Graph{
+		shards: make([]shard, n),
+		shift:  uint(64 - bits.TrailingZeros(uint(n))),
+	}
+	per := sizeHint / n
+	for i := range g.shards {
+		g.shards[i].out = make(map[NodeID][]NodeID, per)
+		g.shards[i].in = make(map[NodeID][]NodeID, per)
+	}
+	return g
+}
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// NumShards returns the number of lock-striped shards.
+func (g *Graph) NumShards() int { return len(g.shards) }
+
+func (g *Graph) shardOf(v NodeID) int {
+	// Fibonacci hashing spreads sequential IDs across shards; the high bits
+	// select the shard.
+	return int((uint64(v) * 0x9e3779b97f4a7c15) >> g.shift)
+}
+
+// lockAll / runlockAll acquire every shard in index order, the global lock
+// order that makes multi-shard operations deadlock-free.
+func (g *Graph) lockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.Lock()
+	}
+}
+
+func (g *Graph) unlockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.Unlock()
+	}
+}
+
+func (g *Graph) rlockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.RLock()
+	}
+}
+
+func (g *Graph) runlockAll() {
+	for i := range g.shards {
+		g.shards[i].mu.RUnlock()
 	}
 }
 
 // AddNode ensures v exists (possibly with no edges). Adding an existing node
 // is a no-op.
 func (g *Graph) AddNode(v NodeID) {
-	g.mu.Lock()
-	g.addNodeLocked(v)
-	g.mu.Unlock()
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.Lock()
+	addNodeLocked(sh, v)
+	sh.mu.Unlock()
 }
 
-func (g *Graph) addNodeLocked(v NodeID) {
-	if _, ok := g.out[v]; !ok {
-		g.out[v] = nil
+func addNodeLocked(sh *shard, v NodeID) {
+	if _, ok := sh.out[v]; !ok {
+		sh.out[v] = nil
 	}
-	if _, ok := g.in[v]; !ok {
-		g.in[v] = nil
+	if _, ok := sh.in[v]; !ok {
+		sh.in[v] = nil
+	}
+}
+
+// lockPair locks the shards of u and v in index order and returns them.
+// When both nodes share a shard only one lock is taken.
+func (g *Graph) lockPair(u, v NodeID) (su, sv *shard) {
+	i, j := g.shardOf(u), g.shardOf(v)
+	su, sv = &g.shards[i], &g.shards[j]
+	if i == j {
+		su.mu.Lock()
+		return su, su
+	}
+	if i < j {
+		su.mu.Lock()
+		sv.mu.Lock()
+	} else {
+		sv.mu.Lock()
+		su.mu.Lock()
+	}
+	return su, sv
+}
+
+func unlockPair(su, sv *shard) {
+	su.mu.Unlock()
+	if sv != su {
+		sv.mu.Unlock()
 	}
 }
 
@@ -66,29 +184,31 @@ func (g *Graph) addNodeLocked(v NodeID) {
 // endpoints. Parallel edges are permitted (the graph is a multigraph); the
 // caller decides whether duplicates make sense for its workload.
 func (g *Graph) AddEdge(u, v NodeID) {
-	g.mu.Lock()
-	g.addNodeLocked(u)
-	g.addNodeLocked(v)
-	g.out[u] = append(g.out[u], v)
-	g.in[v] = append(g.in[v], u)
-	g.edges++
-	g.mu.Unlock()
+	su, sv := g.lockPair(u, v)
+	addNodeLocked(su, u)
+	addNodeLocked(sv, v)
+	su.out[u] = append(su.out[u], v)
+	sv.in[v] = append(sv.in[v], u)
+	su.edges++
+	g.edges.Add(1)
+	unlockPair(su, sv)
 }
 
 // RemoveEdge deletes one occurrence of u -> v. It reports whether an edge was
 // removed.
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !removeOne(g.out, u, v) {
+	su, sv := g.lockPair(u, v)
+	defer unlockPair(su, sv)
+	if !removeOne(su.out, u, v) {
 		return false
 	}
-	if !removeOne(g.in, v, u) {
+	if !removeOne(sv.in, v, u) {
 		// The two adjacency tables are updated together, so a missing
 		// reverse entry means internal corruption.
 		panic("graph: adjacency tables out of sync")
 	}
-	g.edges--
+	su.edges--
+	g.edges.Add(-1)
 	return true
 }
 
@@ -107,9 +227,10 @@ func removeOne(adj map[NodeID][]NodeID, key, target NodeID) bool {
 
 // HasEdge reports whether at least one edge u -> v exists.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	for _, x := range g.out[u] {
+	sh := &g.shards[g.shardOf(u)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, x := range sh.out[u] {
 		if x == v {
 			return true
 		}
@@ -119,64 +240,85 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 
 // HasNode reports whether v is present.
 func (g *Graph) HasNode(v NodeID) bool {
-	g.mu.RLock()
-	_, ok := g.out[v]
-	g.mu.RUnlock()
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	_, ok := sh.out[v]
+	sh.mu.RUnlock()
 	return ok
 }
 
-// NumNodes returns the number of nodes.
+// NumNodes returns the number of nodes. With concurrent writers the result
+// is a per-shard-consistent snapshot.
 func (g *Graph) NumNodes() int {
-	g.mu.RLock()
-	n := len(g.out)
-	g.mu.RUnlock()
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.out)
+		sh.mu.RUnlock()
+	}
 	return n
 }
 
 // NumEdges returns the number of edges (counting multiplicity).
 func (g *Graph) NumEdges() int {
-	g.mu.RLock()
-	m := g.edges
-	g.mu.RUnlock()
-	return m
+	return int(g.edges.Load())
+}
+
+// ShardEdges returns, per shard, the number of edges whose source node lives
+// on that shard — the load-balance view a sharded deployment would monitor.
+func (g *Graph) ShardEdges() []int64 {
+	out := make([]int64, len(g.shards))
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		out[i] = sh.edges
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // OutDegree returns the out-degree of v (0 for unknown nodes).
 func (g *Graph) OutDegree(v NodeID) int {
-	g.mu.RLock()
-	d := len(g.out[v])
-	g.mu.RUnlock()
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	d := len(sh.out[v])
+	sh.mu.RUnlock()
 	return d
 }
 
 // InDegree returns the in-degree of v (0 for unknown nodes).
 func (g *Graph) InDegree(v NodeID) int {
-	g.mu.RLock()
-	d := len(g.in[v])
-	g.mu.RUnlock()
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	d := len(sh.in[v])
+	sh.mu.RUnlock()
 	return d
 }
 
 // OutNeighbors returns a copy of v's out-neighbor list.
 func (g *Graph) OutNeighbors(v NodeID) []NodeID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return append([]NodeID(nil), g.out[v]...)
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]NodeID(nil), sh.out[v]...)
 }
 
 // InNeighbors returns a copy of v's in-neighbor list.
 func (g *Graph) InNeighbors(v NodeID) []NodeID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return append([]NodeID(nil), g.in[v]...)
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]NodeID(nil), sh.in[v]...)
 }
 
 // RandomOutNeighbor returns a uniformly random out-neighbor of v. ok is false
 // when v has no outgoing edges (a dangling node).
 func (g *Graph) RandomOutNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	s := g.out[v]
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.out[v]
 	if len(s) == 0 {
 		return 0, false
 	}
@@ -186,53 +328,117 @@ func (g *Graph) RandomOutNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) 
 // RandomInNeighbor returns a uniformly random in-neighbor of v. ok is false
 // when v has no incoming edges.
 func (g *Graph) RandomInNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	s := g.in[v]
+	sh := &g.shards[g.shardOf(v)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.in[v]
 	if len(s) == 0 {
 		return 0, false
 	}
 	return s[rng.IntN(len(s))], true
 }
 
+// Batcher amortizes shard-lock acquisition over a burst of lockstep walkers.
+// Each worker goroutine owns one Batcher (it carries reusable per-shard
+// scratch and must not be shared); sampling a burst of B walkers costs at
+// most NumShards lock acquisitions instead of B.
+type Batcher struct {
+	g       *Graph
+	buckets [][]int32
+}
+
+// NewBatcher returns a Batcher for g. Not safe for concurrent use; create
+// one per worker.
+func (g *Graph) NewBatcher() *Batcher {
+	return &Batcher{g: g, buckets: make([][]int32, len(g.shards))}
+}
+
+// RandomOutNeighbors samples, for each i, a uniformly random out-neighbor of
+// cur[i] into next[i], setting ok[i] to false when cur[i] is dangling. The
+// three slices must have equal length. Walkers are grouped by shard so each
+// shard's read lock is taken once per call.
+func (b *Batcher) RandomOutNeighbors(cur, next []NodeID, ok []bool, rng *rand.Rand) {
+	if len(next) != len(cur) || len(ok) != len(cur) {
+		panic("graph: Batcher slice lengths disagree")
+	}
+	for s := range b.buckets {
+		b.buckets[s] = b.buckets[s][:0]
+	}
+	for i, v := range cur {
+		s := b.g.shardOf(v)
+		b.buckets[s] = append(b.buckets[s], int32(i))
+	}
+	for s, idx := range b.buckets {
+		if len(idx) == 0 {
+			continue
+		}
+		sh := &b.g.shards[s]
+		sh.mu.RLock()
+		for _, i := range idx {
+			outs := sh.out[cur[i]]
+			if len(outs) == 0 {
+				ok[i] = false
+				continue
+			}
+			next[i] = outs[rng.IntN(len(outs))]
+			ok[i] = true
+		}
+		sh.mu.RUnlock()
+	}
+}
+
 // Nodes returns all node IDs in ascending order. The slice is freshly
 // allocated.
 func (g *Graph) Nodes() []NodeID {
-	g.mu.RLock()
-	nodes := make([]NodeID, 0, len(g.out))
-	for v := range g.out {
-		nodes = append(nodes, v)
+	nodes := make([]NodeID, 0, g.NumNodes())
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		for v := range sh.out {
+			nodes = append(nodes, v)
+		}
+		sh.mu.RUnlock()
 	}
-	g.mu.RUnlock()
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	slices.Sort(nodes)
 	return nodes
 }
 
-// Edges returns every edge (with multiplicity) in unspecified order.
+// Edges returns every edge (with multiplicity) in unspecified order, as a
+// globally consistent snapshot.
 func (g *Graph) Edges() []Edge {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	edges := make([]Edge, 0, g.edges)
-	for u, outs := range g.out {
-		for _, v := range outs {
-			edges = append(edges, Edge{u, v})
+	g.rlockAll()
+	defer g.runlockAll()
+	edges := make([]Edge, 0, g.edges.Load())
+	for i := range g.shards {
+		for u, outs := range g.shards[i].out {
+			for _, v := range outs {
+				edges = append(edges, Edge{u, v})
+			}
 		}
 	}
 	return edges
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph (same shard count).
 func (g *Graph) Clone() *Graph {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	c := New(len(g.out))
-	for u, outs := range g.out {
-		c.out[u] = append([]NodeID(nil), outs...)
+	g.rlockAll()
+	defer g.runlockAll()
+	c := &Graph{shards: make([]shard, len(g.shards)), shift: g.shift}
+	var total int64
+	for i := range g.shards {
+		src, dst := &g.shards[i], &c.shards[i]
+		dst.out = make(map[NodeID][]NodeID, len(src.out))
+		for u, outs := range src.out {
+			dst.out[u] = append([]NodeID(nil), outs...)
+		}
+		dst.in = make(map[NodeID][]NodeID, len(src.in))
+		for v, ins := range src.in {
+			dst.in[v] = append([]NodeID(nil), ins...)
+		}
+		dst.edges = src.edges
+		total += src.edges
 	}
-	for v, ins := range g.in {
-		c.in[v] = append([]NodeID(nil), ins...)
-	}
-	c.edges = g.edges
+	c.edges.Store(total)
 	return c
 }
 
@@ -241,47 +447,71 @@ func (g *Graph) Clone() *Graph {
 // linear scan over cumulative degree. O(n); intended for experiment setup,
 // not hot paths.
 func (g *Graph) RandomEdge(rng *rand.Rand) (e Edge, ok bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if g.edges == 0 {
+	g.rlockAll()
+	defer g.runlockAll()
+	total := int(g.edges.Load())
+	if total == 0 {
 		return Edge{}, false
 	}
-	k := rng.IntN(g.edges)
-	for u, outs := range g.out {
-		if k < len(outs) {
-			return Edge{u, outs[k]}, true
+	k := rng.IntN(total)
+	for i := range g.shards {
+		for u, outs := range g.shards[i].out {
+			if k < len(outs) {
+				return Edge{u, outs[k]}, true
+			}
+			k -= len(outs)
 		}
-		k -= len(outs)
 	}
 	panic("graph: edge count out of sync")
 }
 
-// Validate checks internal invariants (forward/backward adjacency agreement
-// and the edge counter). Intended for tests and debugging; O(m log m).
+// Validate checks internal invariants (forward/backward adjacency agreement,
+// shard placement, and the edge counters). Intended for tests and debugging;
+// O(m log m).
 func (g *Graph) Validate() error {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	fwd := 0
-	for _, outs := range g.out {
-		fwd += len(outs)
-	}
-	bwd := 0
-	for _, ins := range g.in {
-		bwd += len(ins)
-	}
-	if fwd != bwd || fwd != g.edges {
-		return fmt.Errorf("graph: edge counts disagree: out=%d in=%d counter=%d", fwd, bwd, g.edges)
-	}
-	type pair = Edge
-	count := make(map[pair]int, fwd)
-	for u, outs := range g.out {
-		for _, v := range outs {
-			count[pair{u, v}]++
+	g.rlockAll()
+	defer g.runlockAll()
+	fwd, bwd := 0, 0
+	var perShard int64
+	for i := range g.shards {
+		sh := &g.shards[i]
+		var shFwd int64
+		for u, outs := range sh.out {
+			if g.shardOf(u) != i {
+				return fmt.Errorf("graph: node %d out-row on shard %d, want %d", u, i, g.shardOf(u))
+			}
+			shFwd += int64(len(outs))
+		}
+		for v := range sh.in {
+			if g.shardOf(v) != i {
+				return fmt.Errorf("graph: node %d in-row on shard %d, want %d", v, i, g.shardOf(v))
+			}
+			bwd += len(sh.in[v])
+		}
+		if shFwd != sh.edges {
+			return fmt.Errorf("graph: shard %d counter=%d want %d", i, sh.edges, shFwd)
+		}
+		fwd += int(shFwd)
+		perShard += sh.edges
+		// Every node must have both rows present on its shard.
+		if len(sh.out) != len(sh.in) {
+			return fmt.Errorf("graph: shard %d has %d out-rows, %d in-rows", i, len(sh.out), len(sh.in))
 		}
 	}
-	for v, ins := range g.in {
-		for _, u := range ins {
-			count[pair{u, v}]--
+	if fwd != bwd || int64(fwd) != g.edges.Load() {
+		return fmt.Errorf("graph: edge counts disagree: out=%d in=%d counter=%d", fwd, bwd, g.edges.Load())
+	}
+	count := make(map[Edge]int, fwd)
+	for i := range g.shards {
+		for u, outs := range g.shards[i].out {
+			for _, v := range outs {
+				count[Edge{u, v}]++
+			}
+		}
+		for v, ins := range g.shards[i].in {
+			for _, u := range ins {
+				count[Edge{u, v}]--
+			}
 		}
 	}
 	for e, c := range count {

@@ -7,7 +7,7 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Summary holds basic descriptive statistics.
@@ -143,7 +143,7 @@ func WeightedCDF(counts map[int]float64) []CDFPoint {
 		degrees = append(degrees, d)
 		total += w
 	}
-	sort.Ints(degrees)
+	slices.Sort(degrees)
 	out := make([]CDFPoint, 0, len(degrees))
 	var cum float64
 	for _, d := range degrees {
@@ -159,7 +159,14 @@ func WeightedCDF(counts map[int]float64) []CDFPoint {
 
 // CDFAt evaluates a CDF (as returned by WeightedCDF) at degree d.
 func CDFAt(cdf []CDFPoint, d int) float64 {
-	i := sort.Search(len(cdf), func(i int) bool { return cdf[i].Degree > d })
+	// Find the first point with Degree > d; the comparator never returns 0
+	// so the insertion point is exactly that boundary.
+	i, _ := slices.BinarySearchFunc(cdf, d, func(p CDFPoint, t int) int {
+		if p.Degree <= t {
+			return -1
+		}
+		return 1
+	})
 	if i == 0 {
 		return 0
 	}

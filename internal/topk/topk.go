@@ -5,7 +5,7 @@ package topk
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 
 	"fastppr/internal/graph"
 )
@@ -52,7 +52,17 @@ func (c *Collector) Len() int { return len(c.h) }
 // node ID). The collector remains usable afterwards.
 func (c *Collector) Items() []Item {
 	out := append([]Item(nil), c.h...)
-	sort.Slice(out, func(i, j int) bool { return less(out[j], out[i]) })
+	// Derived from less so eviction order and ranking order cannot diverge.
+	slices.SortFunc(out, func(a, b Item) int {
+		switch {
+		case less(b, a):
+			return -1
+		case less(a, b):
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,85 @@
+package topk
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+func TestDescendingOrderAndTieBreak(t *testing.T) {
+	c := New(4)
+	c.Offer(5, 1.0)
+	c.Offer(3, 2.0)
+	c.Offer(9, 2.0) // tie with node 3 — lower ID must rank first
+	c.Offer(1, 0.5)
+	c.Offer(7, 3.0)
+	items := c.Items()
+	if len(items) != 4 {
+		t.Fatalf("got %d items, want 4", len(items))
+	}
+	wantNodes := []graph.NodeID{7, 3, 9, 5}
+	wantScores := []float64{3.0, 2.0, 2.0, 1.0}
+	for i := range items {
+		if items[i].Node != wantNodes[i] || items[i].Score != wantScores[i] {
+			t.Fatalf("items[%d]=%+v, want node=%d score=%g (all: %+v)",
+				i, items[i], wantNodes[i], wantScores[i], items)
+		}
+	}
+	// Node 1 (score 0.5) must have been evicted.
+	for _, it := range items {
+		if it.Node == 1 {
+			t.Fatal("lowest score survived a full collector")
+		}
+	}
+}
+
+func TestTieEvictionPrefersLowerIDs(t *testing.T) {
+	// All scores equal: the k kept entries must be the k lowest IDs.
+	c := New(3)
+	for _, n := range []graph.NodeID{10, 2, 7, 4, 9, 1} {
+		c.Offer(n, 1.0)
+	}
+	items := c.Items()
+	want := []graph.NodeID{1, 2, 4}
+	for i := range want {
+		if items[i].Node != want[i] {
+			t.Fatalf("items=%+v, want nodes %v", items, want)
+		}
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 0))
+	scores := make(map[graph.NodeID]float64, 200)
+	for i := 0; i < 200; i++ {
+		scores[graph.NodeID(i)] = float64(rng.IntN(50)) // many ties
+	}
+	got := TopK(scores, 10)
+	if len(got) != 10 {
+		t.Fatalf("TopK returned %d items", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Score < b.Score {
+			t.Fatalf("not descending at %d: %+v", i, got)
+		}
+		if a.Score == b.Score && a.Node > b.Node {
+			t.Fatalf("tie not broken toward lower IDs at %d: %+v", i, got)
+		}
+	}
+	// Nothing outside the result may beat the last kept item.
+	last := got[len(got)-1]
+	kept := map[graph.NodeID]bool{}
+	for _, it := range got {
+		kept[it.Node] = true
+	}
+	for v, s := range scores {
+		if kept[v] {
+			continue
+		}
+		if s > last.Score || (s == last.Score && v < last.Node) {
+			t.Fatalf("node %d (score %g) should have displaced %+v", v, s, last)
+		}
+	}
+}

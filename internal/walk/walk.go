@@ -83,7 +83,14 @@ func PageRank(g Neighborer, source graph.NodeID, eps float64, rng *rand.Rand) Se
 // arrival reroutes a stored segment mid-path: the truncated prefix keeps its
 // visits and Continue supplies the new tail.
 func Continue(g Neighborer, cur graph.NodeID, eps float64, rng *rand.Rand) []graph.NodeID {
-	var tail []graph.NodeID
+	return AppendContinue(g, cur, eps, rng, nil)
+}
+
+// AppendContinue is Continue with a caller-supplied buffer: the freshly
+// visited nodes are appended to buf and the extended slice returned. Hot
+// update paths reuse one buffer per worker to avoid a per-reroute
+// allocation.
+func AppendContinue(g Neighborer, cur graph.NodeID, eps float64, rng *rand.Rand, buf []graph.NodeID) []graph.NodeID {
 	for {
 		if rng.Float64() < eps {
 			break
@@ -92,10 +99,10 @@ func Continue(g Neighborer, cur graph.NodeID, eps float64, rng *rand.Rand) []gra
 		if !ok {
 			break
 		}
-		tail = append(tail, next)
+		buf = append(buf, next)
 		cur = next
 	}
-	return tail
+	return buf
 }
 
 // SalsaSegment is the recorded path of one SALSA walk together with the

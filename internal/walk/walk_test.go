@@ -1,0 +1,109 @@
+package walk
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// cycle builds a directed n-cycle, where every node has exactly one
+// out-edge, so segment length is governed purely by the reset coin.
+func cycle(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	return g
+}
+
+// TestSegmentLengthGeometric checks that PageRank segment lengths follow the
+// geometric law: mean number of nodes = 1/eps (1 + mean steps, steps
+// geometric with mean (1-eps)/eps).
+func TestSegmentLengthGeometric(t *testing.T) {
+	const eps = 0.2
+	const samples = 20000
+	g := cycle(64)
+	rng := rand.New(rand.NewPCG(11, 0))
+	var sum float64
+	for i := 0; i < samples; i++ {
+		seg := PageRank(g, graph.NodeID(i%64), eps, rng)
+		if seg.Len() < 1 || seg.Source() != graph.NodeID(i%64) {
+			t.Fatalf("bad segment %v", seg)
+		}
+		sum += float64(seg.Len())
+	}
+	mean := sum / samples
+	want := 1 / eps
+	// Std of the sample mean is sqrt((1-eps)/eps^2)/sqrt(samples) ~ 0.032;
+	// 0.15 is ~5 sigma.
+	if math.Abs(mean-want) > 0.15 {
+		t.Fatalf("mean segment length %.3f, want %.3f +- 0.15", mean, want)
+	}
+}
+
+func TestDanglingNodeTerminates(t *testing.T) {
+	g := graph.New(0)
+	g.AddNode(1)
+	rng := rand.New(rand.NewPCG(5, 0))
+	for i := 0; i < 100; i++ {
+		seg := PageRank(g, 1, 0.01, rng)
+		if seg.Len() != 1 || seg.Path[0] != 1 {
+			t.Fatalf("dangling walk should stay put, got %v", seg.Path)
+		}
+	}
+	// A chain into a dangling sink always ends at the sink.
+	g2 := graph.New(0)
+	g2.AddEdge(1, 2)
+	g2.AddEdge(2, 3)
+	for i := 0; i < 100; i++ {
+		seg := PageRank(g2, 1, 0.0, rng) // eps=0: only dangling can stop it
+		if seg.Path[seg.Len()-1] != 3 {
+			t.Fatalf("walk should end at sink 3, got %v", seg.Path)
+		}
+	}
+}
+
+func TestContinueMatchesAppendContinue(t *testing.T) {
+	g := cycle(16)
+	// Same seed -> identical RNG stream -> identical tails.
+	a := Continue(g, 0, 0.3, rand.New(rand.NewPCG(9, 9)))
+	b := AppendContinue(g, 0, 0.3, rand.New(rand.NewPCG(9, 9)), nil)
+	if len(a) != len(b) {
+		t.Fatalf("Continue/AppendContinue disagree: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Continue/AppendContinue disagree at %d: %v vs %v", i, a, b)
+		}
+	}
+	// Buffer reuse appends after the existing prefix.
+	buf := []graph.NodeID{42}
+	out := AppendContinue(g, 0, 0.3, rand.New(rand.NewPCG(9, 9)), buf)
+	if out[0] != 42 || len(out) != 1+len(a) {
+		t.Fatalf("AppendContinue ignored prefix: %v", out)
+	}
+}
+
+func TestSalsaAlternatesDirections(t *testing.T) {
+	// 1 -> 2, 3 -> 2: from 1 a forward step reaches 2, a backward step from
+	// 2 reaches 1 or 3, and so on.
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 2)
+	rng := rand.New(rand.NewPCG(21, 0))
+	for i := 0; i < 200; i++ {
+		seg := Salsa(g, 1, Forward, 0.3, rng)
+		for j := 1; j < seg.Len(); j++ {
+			dir := seg.StepDirection(j)
+			from, to := seg.Path[j-1], seg.Path[j]
+			if dir == Forward && !g.HasEdge(from, to) {
+				t.Fatalf("forward step %d->%d is not an edge", from, to)
+			}
+			if dir == Backward && !g.HasEdge(to, from) {
+				t.Fatalf("backward step %d->%d has no reverse edge", from, to)
+			}
+		}
+	}
+}

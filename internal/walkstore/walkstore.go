@@ -7,9 +7,21 @@
 // names explicitly:
 //
 //	X_v  — total number of visits to v across all stored segments, the
-//	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR);
+//	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR).
+//	       On graphs with dangling nodes, walks truncate early and the
+//	       better-normalized estimator is X_v / TotalVisits (same shape,
+//	       correct scale);
 //	W(v) — number of distinct stored segments visiting v, used by the
 //	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path.
+//
+// Storage layout. Segment paths live in one grow-only arena ([]graph.NodeID)
+// addressed by (offset, length); mutation never writes inside the occupied
+// prefix of the arena, so a path slice handed out by Path stays valid and
+// immutable for the life of the store even across ReplaceTail (which writes
+// the revised path at the arena tail and repoints the segment). The visitor
+// index keeps, per node, a small sorted (segment, multiplicity) slice and
+// upgrades to a map only for high-degree hubs, replacing the nested-map
+// layout whose per-node allocation dominated the old hot path.
 //
 // The store is deliberately agnostic about what a segment means: it stores
 // node paths. The PageRank maintainer stores reset walks; the SALSA
@@ -21,79 +33,208 @@ package walkstore
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"fastppr/internal/graph"
 )
 
-// SegmentID identifies a stored segment.
+// SegmentID identifies a stored segment. IDs are assigned densely from 0 and
+// never reused.
 type SegmentID int64
 
 // Observer is notified of visit-count mutations: delta is +1 when a segment
 // gains a visit to node at path position pos, -1 when it loses one.
 type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
 
+// segRef addresses one segment's path inside the arena.
+type segRef struct {
+	off  int64
+	n    int32
+	live bool
+}
+
+// hubThreshold is the visitor-set size at which the sorted-slice
+// representation upgrades to a map. Sorted slices win below it (no per-node
+// map allocation, cache-friendly binary search); hubs visited by thousands
+// of segments need O(1) updates.
+const hubThreshold = 64
+
+// visitorSet tracks the multiset of segments visiting one node: a sorted
+// (ids, counts) pair for ordinary nodes, a map for hubs. Exactly one
+// representation is active at a time.
+type visitorSet struct {
+	ids    []SegmentID
+	counts []int32
+	m      map[SegmentID]int32
+}
+
+func (vs *visitorSet) distinct() int {
+	if vs.m != nil {
+		return len(vs.m)
+	}
+	return len(vs.ids)
+}
+
+func (vs *visitorSet) count(id SegmentID) int32 {
+	if vs.m != nil {
+		return vs.m[id]
+	}
+	i, found := slices.BinarySearch(vs.ids, id)
+	if !found {
+		return 0
+	}
+	return vs.counts[i]
+}
+
+func (vs *visitorSet) add(id SegmentID) {
+	if vs.m != nil {
+		vs.m[id]++
+		return
+	}
+	i, found := slices.BinarySearch(vs.ids, id)
+	if found {
+		vs.counts[i]++
+		return
+	}
+	vs.ids = slices.Insert(vs.ids, i, id)
+	vs.counts = slices.Insert(vs.counts, i, 1)
+	if len(vs.ids) > hubThreshold {
+		vs.m = make(map[SegmentID]int32, 2*len(vs.ids))
+		for j, x := range vs.ids {
+			vs.m[x] = vs.counts[j]
+		}
+		vs.ids, vs.counts = nil, nil
+	}
+}
+
+// remove drops one multiplicity of id and reports whether the set is empty.
+func (vs *visitorSet) remove(id SegmentID) (empty bool) {
+	if vs.m != nil {
+		c := vs.m[id]
+		if c == 0 {
+			panic(fmt.Sprintf("walkstore: removing absent visitor %d", id))
+		}
+		if c == 1 {
+			delete(vs.m, id)
+		} else {
+			vs.m[id] = c - 1
+		}
+		return len(vs.m) == 0
+	}
+	i, found := slices.BinarySearch(vs.ids, id)
+	if !found {
+		panic(fmt.Sprintf("walkstore: removing absent visitor %d", id))
+	}
+	vs.counts[i]--
+	if vs.counts[i] == 0 {
+		vs.ids = slices.Delete(vs.ids, i, i+1)
+		vs.counts = slices.Delete(vs.counts, i, i+1)
+	}
+	return len(vs.ids) == 0
+}
+
+// each calls f for every (segment, multiplicity) pair. Order is ascending by
+// ID in slice mode, unspecified in map mode.
+func (vs *visitorSet) each(f func(SegmentID, int32)) {
+	if vs.m != nil {
+		for id, c := range vs.m {
+			f(id, c)
+		}
+		return
+	}
+	for i, id := range vs.ids {
+		f(id, vs.counts[i])
+	}
+}
+
 // Store holds walk segments with an inverted visit index. All methods are
 // safe for concurrent use.
 type Store struct {
 	mu          sync.RWMutex
-	paths       map[SegmentID][]graph.NodeID
+	arena       []graph.NodeID
+	segs        []segRef // indexed by SegmentID
 	owned       map[graph.NodeID][]SegmentID
-	visitors    map[graph.NodeID]map[SegmentID]int // multiplicity per segment
-	visits      map[graph.NodeID]int64             // X_v
+	visitors    map[graph.NodeID]*visitorSet
+	visits      map[graph.NodeID]int64 // X_v
 	totalVisits int64
-	nextID      SegmentID
+	liveNodes   int64 // arena slots referenced by live segments
+	numLive     int
 	observer    Observer
 }
 
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		paths:    make(map[SegmentID][]graph.NodeID),
 		owned:    make(map[graph.NodeID][]SegmentID),
-		visitors: make(map[graph.NodeID]map[SegmentID]int),
+		visitors: make(map[graph.NodeID]*visitorSet),
 		visits:   make(map[graph.NodeID]int64),
 	}
 }
 
 // SetObserver installs an observer for visit mutations. Must be called
-// before any segments are added; the observer then sees every mutation.
+// while the store holds no live segments (fresh, or emptied for a rebuild);
+// the observer then sees every mutation.
 func (s *Store) SetObserver(o Observer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.paths) != 0 {
-		panic("walkstore: SetObserver after segments were added")
+	if s.numLive != 0 {
+		panic("walkstore: SetObserver with live segments")
 	}
 	s.observer = o
 }
 
 // Add stores a new segment owned by its first node and returns its ID.
-// The path must be non-empty.
+// The path must be non-empty. The path is copied; the caller keeps ownership
+// of its slice.
 func (s *Store) Add(path []graph.NodeID) SegmentID {
 	if len(path) == 0 {
 		panic("walkstore: empty segment path")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := s.nextID
-	s.nextID++
-	p := append([]graph.NodeID(nil), path...)
-	s.paths[id] = p
-	src := p[0]
+	return s.addLocked(path)
+}
+
+// AddBatch stores many segments under one lock acquisition — the bulk-load
+// path the parallel walk engine uses to flush a burst of finished segments.
+// Every path must be non-empty; paths are copied. The returned IDs are in
+// input order.
+func (s *Store) AddBatch(paths [][]graph.NodeID) []SegmentID {
+	ids := make([]SegmentID, len(paths))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range paths {
+		if len(p) == 0 {
+			panic("walkstore: empty segment path")
+		}
+		ids[i] = s.addLocked(p)
+	}
+	return ids
+}
+
+func (s *Store) addLocked(path []graph.NodeID) SegmentID {
+	id := SegmentID(len(s.segs))
+	off := int64(len(s.arena))
+	s.arena = append(s.arena, path...)
+	s.segs = append(s.segs, segRef{off: off, n: int32(len(path)), live: true})
+	s.numLive++
+	s.liveNodes += int64(len(path))
+	src := path[0]
 	s.owned[src] = append(s.owned[src], id)
-	for pos, v := range p {
+	for pos, v := range path {
 		s.addVisitLocked(id, v, pos)
 	}
 	return id
 }
 
 func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
-	m := s.visitors[v]
-	if m == nil {
-		m = make(map[SegmentID]int)
-		s.visitors[v] = m
+	vs := s.visitors[v]
+	if vs == nil {
+		vs = &visitorSet{}
+		s.visitors[v] = vs
 	}
-	m[id]++
+	vs.add(id)
 	s.visits[v]++
 	s.totalVisits++
 	if s.observer != nil {
@@ -102,16 +243,12 @@ func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
 }
 
 func (s *Store) removeVisitLocked(id SegmentID, v graph.NodeID, pos int) {
-	m := s.visitors[v]
-	if m == nil || m[id] == 0 {
+	vs := s.visitors[v]
+	if vs == nil {
 		panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, v))
 	}
-	m[id]--
-	if m[id] == 0 {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(s.visitors, v)
-		}
+	if vs.remove(id) {
+		delete(s.visitors, v)
 	}
 	s.visits[v]--
 	if s.visits[v] == 0 {
@@ -123,16 +260,29 @@ func (s *Store) removeVisitLocked(id SegmentID, v graph.NodeID, pos int) {
 	}
 }
 
+// refLocked returns the live segRef for id, panicking on unknown or removed
+// segments.
+func (s *Store) refLocked(id SegmentID) segRef {
+	if id < 0 || int(id) >= len(s.segs) || !s.segs[id].live {
+		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
+	}
+	return s.segs[id]
+}
+
+// pathLocked returns the arena window of a live segment, capacity-clamped so
+// callers cannot append into the arena.
+func (s *Store) pathLocked(r segRef) []graph.NodeID {
+	return s.arena[r.off : r.off+int64(r.n) : r.off+int64(r.n)]
+}
+
 // Path returns the segment's node path. The returned slice must not be
-// modified; it is the store's copy, shared for speed on the update hot path.
+// modified, but it is stable: the arena is grow-only and ReplaceTail writes
+// revised paths to fresh arena space, so the slice keeps its contents even
+// after later mutations of the same segment.
 func (s *Store) Path(id SegmentID) []graph.NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	p, ok := s.paths[id]
-	if !ok {
-		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
-	}
-	return p
+	return s.pathLocked(s.refLocked(id))
 }
 
 // OwnedBy returns the IDs of segments whose walks start at u, in insertion
@@ -147,11 +297,12 @@ func (s *Store) OwnedBy(u graph.NodeID) []SegmentID {
 func (s *Store) Visitors(v graph.NodeID) []SegmentID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	m := s.visitors[v]
-	ids := make([]SegmentID, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
+	vs := s.visitors[v]
+	if vs == nil {
+		return nil
 	}
+	ids := make([]SegmentID, 0, vs.distinct())
+	vs.each(func(id SegmentID, _ int32) { ids = append(ids, id) })
 	return ids
 }
 
@@ -159,7 +310,11 @@ func (s *Store) Visitors(v graph.NodeID) []SegmentID {
 func (s *Store) W(v graph.NodeID) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.visitors[v])
+	vs := s.visitors[v]
+	if vs == nil {
+		return 0
+	}
+	return vs.distinct()
 }
 
 // Visits returns X_v, the total visit count of v across stored segments.
@@ -187,49 +342,64 @@ func (s *Store) VisitCounts() map[graph.NodeID]int64 {
 	return out
 }
 
-// NumSegments returns the number of stored segments.
+// NumSegments returns the number of stored (live) segments.
 func (s *Store) NumSegments() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.paths)
+	return s.numLive
+}
+
+// ArenaStats reports the arena's live and total node slots. The difference
+// is garbage left behind by ReplaceTail/Remove; a future compaction pass can
+// reclaim it when the ratio degrades.
+func (s *Store) ArenaStats() (live, total int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveNodes, int64(len(s.arena))
 }
 
 // ReplaceTail truncates the segment to its first keep nodes (keep >= 1) and
 // appends newTail, updating the visit index. It returns the number of
 // removed and added visits, which the maintainer accounts as update work.
+// The revised path is written to fresh arena space, so slices previously
+// returned by Path keep their old contents (copy-on-truncate).
 func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (removed, added int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.paths[id]
-	if !ok {
-		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
+	r := s.refLocked(id)
+	if keep < 1 || keep > int(r.n) {
+		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, r.n))
 	}
-	if keep < 1 || keep > len(p) {
-		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, len(p)))
+	if keep == int(r.n) && len(newTail) == 0 {
+		return 0, 0
 	}
-	for pos := len(p) - 1; pos >= keep; pos-- {
-		s.removeVisitLocked(id, p[pos], pos)
+	old := s.pathLocked(r)
+	for pos := int(r.n) - 1; pos >= keep; pos-- {
+		s.removeVisitLocked(id, old[pos], pos)
 		removed++
 	}
-	p = p[:keep]
-	for _, v := range newTail {
-		p = append(p, v)
-		s.addVisitLocked(id, v, len(p)-1)
+	// Relocate: prefix copy plus the new tail at the arena's end. The old
+	// window is never written again, keeping outstanding Path slices stable.
+	off := int64(len(s.arena))
+	s.arena = append(s.arena, old[:keep]...)
+	s.arena = append(s.arena, newTail...)
+	n := keep + len(newTail)
+	s.segs[id] = segRef{off: off, n: int32(n), live: true}
+	s.liveNodes += int64(n) - int64(r.n)
+	for i, v := range newTail {
+		s.addVisitLocked(id, v, keep+i)
 		added++
 	}
-	s.paths[id] = p
 	return removed, added
 }
 
 // Remove deletes a segment entirely, unwinding its visits. Used when a node
-// is retired or a maintainer is rebuilt.
+// is retired or a maintainer is rebuilt. The ID is not reused.
 func (s *Store) Remove(id SegmentID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p, ok := s.paths[id]
-	if !ok {
-		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
-	}
+	r := s.refLocked(id)
+	p := s.pathLocked(r)
 	for pos := len(p) - 1; pos >= 0; pos-- {
 		s.removeVisitLocked(id, p[pos], pos)
 	}
@@ -244,39 +414,52 @@ func (s *Store) Remove(id SegmentID) {
 	if len(s.owned[src]) == 0 {
 		delete(s.owned, src)
 	}
-	delete(s.paths, id)
+	s.segs[id].live = false
+	s.numLive--
+	s.liveNodes -= int64(r.n)
 }
 
-// Validate checks the visit index and counters against the stored paths.
-// O(total path length); for tests.
+// Validate checks the visit index, counters, and arena references against
+// the stored paths. O(total path length); for tests.
 func (s *Store) Validate() error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	wantVisits := make(map[graph.NodeID]int64)
-	wantVisitors := make(map[graph.NodeID]map[SegmentID]int)
-	var total int64
-	for id, p := range s.paths {
-		if len(p) == 0 {
+	wantVisitors := make(map[graph.NodeID]map[SegmentID]int32)
+	var total, live int64
+	numLive := 0
+	for i := range s.segs {
+		r := s.segs[i]
+		if !r.live {
+			continue
+		}
+		numLive++
+		id := SegmentID(i)
+		if r.n <= 0 {
 			return fmt.Errorf("walkstore: segment %d has empty path", id)
 		}
+		if r.off < 0 || r.off+int64(r.n) > int64(len(s.arena)) {
+			return fmt.Errorf("walkstore: segment %d ref (%d,%d) outside arena of %d", id, r.off, r.n, len(s.arena))
+		}
+		p := s.pathLocked(r)
+		live += int64(len(p))
 		for _, v := range p {
 			wantVisits[v]++
 			total++
 			if wantVisitors[v] == nil {
-				wantVisitors[v] = make(map[SegmentID]int)
+				wantVisitors[v] = make(map[SegmentID]int32)
 			}
 			wantVisitors[v][id]++
 		}
-		owned := false
-		for _, x := range s.owned[p[0]] {
-			if x == id {
-				owned = true
-				break
-			}
-		}
-		if !owned {
+		if !slices.Contains(s.owned[p[0]], id) {
 			return fmt.Errorf("walkstore: segment %d missing from owner index of node %d", id, p[0])
 		}
+	}
+	if numLive != s.numLive {
+		return fmt.Errorf("walkstore: numLive=%d want %d", s.numLive, numLive)
+	}
+	if live != s.liveNodes {
+		return fmt.Errorf("walkstore: liveNodes=%d want %d", s.liveNodes, live)
 	}
 	if total != s.totalVisits {
 		return fmt.Errorf("walkstore: totalVisits=%d want %d", s.totalVisits, total)
@@ -288,13 +471,28 @@ func (s *Store) Validate() error {
 		if s.visits[v] != x {
 			return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, s.visits[v], x)
 		}
-		if len(s.visitors[v]) != len(wantVisitors[v]) {
-			return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, len(s.visitors[v]), len(wantVisitors[v]))
+		vs := s.visitors[v]
+		if vs == nil {
+			return fmt.Errorf("walkstore: missing visitor set for node %d", v)
+		}
+		if vs.m != nil && (vs.ids != nil || vs.counts != nil) {
+			return fmt.Errorf("walkstore: visitors[%d] has both slice and map representations", v)
+		}
+		if vs.m == nil && !slices.IsSorted(vs.ids) {
+			return fmt.Errorf("walkstore: visitors[%d] ids not sorted", v)
+		}
+		if vs.distinct() != len(wantVisitors[v]) {
+			return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, vs.distinct(), len(wantVisitors[v]))
 		}
 		for id, c := range wantVisitors[v] {
-			if s.visitors[v][id] != c {
-				return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, s.visitors[v][id], c)
+			if got := vs.count(id); got != c {
+				return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, got, c)
 			}
+		}
+	}
+	for v := range s.visitors {
+		if wantVisits[v] == 0 {
+			return fmt.Errorf("walkstore: stale visitor set for node %d", v)
 		}
 	}
 	for id := range s.owned {

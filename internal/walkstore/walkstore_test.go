@@ -1,0 +1,251 @@
+package walkstore
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+func path(ids ...int64) []graph.NodeID {
+	p := make([]graph.NodeID, len(ids))
+	for i, x := range ids {
+		p[i] = graph.NodeID(x)
+	}
+	return p
+}
+
+func TestAddReplaceRemove(t *testing.T) {
+	s := New()
+	a := s.Add(path(1, 2, 3, 2))
+	b := s.Add(path(2, 3))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Visits(2); got != 3 {
+		t.Fatalf("Visits(2)=%d want 3", got)
+	}
+	if got := s.W(2); got != 2 {
+		t.Fatalf("W(2)=%d want 2", got)
+	}
+	if got := s.TotalVisits(); got != 6 {
+		t.Fatalf("TotalVisits=%d want 6", got)
+	}
+	if got := s.OwnedBy(1); !slices.Equal(got, []SegmentID{a}) {
+		t.Fatalf("OwnedBy(1)=%v want [%d]", got, a)
+	}
+
+	removed, added := s.ReplaceTail(a, 2, path(5, 6))
+	if removed != 2 || added != 2 {
+		t.Fatalf("ReplaceTail removed=%d added=%d want 2,2", removed, added)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Path(a); !slices.Equal(got, path(1, 2, 5, 6)) {
+		t.Fatalf("Path(a)=%v want [1 2 5 6]", got)
+	}
+	// No-op replace.
+	removed, added = s.ReplaceTail(a, 4, nil)
+	if removed != 0 || added != 0 {
+		t.Fatalf("no-op ReplaceTail did work: %d,%d", removed, added)
+	}
+
+	s.Remove(a)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumSegments(); got != 1 {
+		t.Fatalf("NumSegments=%d want 1", got)
+	}
+	if got := s.Visitors(2); !slices.Equal(got, []SegmentID{b}) {
+		t.Fatalf("Visitors(2)=%v want [%d]", got, b)
+	}
+	s.Remove(b)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalVisits(); got != 0 {
+		t.Fatalf("TotalVisits=%d want 0 after removing everything", got)
+	}
+}
+
+// TestPathStableAcrossReplaceTail pins the aliasing fix: a slice returned by
+// Path must keep its contents after ReplaceTail rewrites the segment.
+func TestPathStableAcrossReplaceTail(t *testing.T) {
+	s := New()
+	id := s.Add(path(10, 20, 30, 40))
+	old := s.Path(id)
+	snapshot := append([]graph.NodeID(nil), old...)
+
+	// Truncate-and-extend, the exact shape that used to mutate old in place.
+	s.ReplaceTail(id, 2, path(99, 98, 97))
+	if !slices.Equal(old, snapshot) {
+		t.Fatalf("old Path slice mutated by ReplaceTail: %v want %v", old, snapshot)
+	}
+	// Drive many more mutations to force arena regrowth; the old window
+	// must still be intact.
+	for i := 0; i < 1000; i++ {
+		s.ReplaceTail(id, 1, path(int64(i), int64(i+1), int64(i+2)))
+	}
+	if !slices.Equal(old, snapshot) {
+		t.Fatalf("old Path slice mutated after arena growth: %v want %v", old, snapshot)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathCapClamped ensures a caller appending to a Path result cannot
+// stomp arena bytes owned by another segment.
+func TestPathCapClamped(t *testing.T) {
+	s := New()
+	a := s.Add(path(1, 2))
+	b := s.Add(path(3, 4))
+	pa := s.Path(a)
+	_ = append(pa, 777) // must reallocate, not write into b's window
+	if got := s.Path(b); !slices.Equal(got, path(3, 4)) {
+		t.Fatalf("segment b corrupted by append to a's path: %v", got)
+	}
+}
+
+// TestHubVisitorSet crosses the slice->map threshold and back down.
+func TestHubVisitorSet(t *testing.T) {
+	s := New()
+	var ids []SegmentID
+	for i := 0; i < 3*hubThreshold; i++ {
+		ids = append(ids, s.Add(path(7, int64(1000+i))))
+	}
+	if got := s.W(7); got != 3*hubThreshold {
+		t.Fatalf("W(7)=%d want %d", got, 3*hubThreshold)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[:2*hubThreshold] {
+		s.Remove(id)
+	}
+	if got := s.W(7); got != hubThreshold {
+		t.Fatalf("W(7)=%d want %d", got, hubThreshold)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	s := New()
+	ids := s.AddBatch([][]graph.NodeID{path(1, 2), path(2), path(3, 1, 2)})
+	if len(ids) != 3 {
+		t.Fatalf("AddBatch returned %d ids", len(ids))
+	}
+	if got := s.NumSegments(); got != 3 {
+		t.Fatalf("NumSegments=%d want 3", got)
+	}
+	if got := s.Path(ids[2]); !slices.Equal(got, path(3, 1, 2)) {
+		t.Fatalf("Path=%v want [3 1 2]", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObserverSeesMutations(t *testing.T) {
+	s := New()
+	var events int
+	net := map[graph.NodeID]int{}
+	s.SetObserver(func(seg SegmentID, node graph.NodeID, pos int, delta int) {
+		events++
+		net[node] += delta
+	})
+	id := s.Add(path(1, 2, 3))
+	s.ReplaceTail(id, 1, path(4))
+	s.Remove(id)
+	if events != 3+3+2 {
+		t.Fatalf("observer saw %d events, want 8", events)
+	}
+	for v, n := range net {
+		if n != 0 {
+			t.Fatalf("net visit delta for node %d is %d, want 0", v, n)
+		}
+	}
+}
+
+// TestFuzzAgainstValidate drives randomized Add/ReplaceTail/Remove and
+// checks every store invariant after each mutation — the acceptance
+// criterion for the arena layout.
+func TestFuzzAgainstValidate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	s := New()
+	var live []SegmentID
+	randPath := func() []graph.NodeID {
+		n := 1 + rng.IntN(6)
+		p := make([]graph.NodeID, n)
+		for i := range p {
+			p[i] = graph.NodeID(rng.IntN(20)) // heavy ID reuse to stress visitor sets
+		}
+		return p
+	}
+	const ops = 2500
+	for op := 0; op < ops; op++ {
+		switch k := rng.IntN(10); {
+		case k < 4 || len(live) == 0:
+			live = append(live, s.Add(randPath()))
+		case k < 8:
+			i := rng.IntN(len(live))
+			id := live[i]
+			n := len(s.Path(id))
+			keep := 1 + rng.IntN(n)
+			var tail []graph.NodeID
+			if rng.IntN(4) > 0 {
+				tail = randPath()
+			}
+			s.ReplaceTail(id, keep, tail)
+		default:
+			i := rng.IntN(len(live))
+			s.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+	}
+	liveNodes, total := s.ArenaStats()
+	if liveNodes > total {
+		t.Fatalf("ArenaStats live=%d > total=%d", liveNodes, total)
+	}
+}
+
+func TestPanicsOnBadUse(t *testing.T) {
+	s := New()
+	id := s.Add(path(1, 2))
+	s.Remove(id)
+	mustPanic(t, "Path of removed segment", func() { s.Path(id) })
+	mustPanic(t, "double Remove", func() { s.Remove(id) })
+	mustPanic(t, "empty Add", func() { s.Add(nil) })
+	id2 := s.Add(path(3))
+	mustPanic(t, "ReplaceTail keep=0", func() { s.ReplaceTail(id2, 0, nil) })
+	mustPanic(t, "ReplaceTail keep too large", func() { s.ReplaceTail(id2, 2, nil) })
+	mustPanic(t, "SetObserver with live segments", func() { s.SetObserver(func(SegmentID, graph.NodeID, int, int) {}) })
+	// Emptied via Remove, the store accepts a fresh observer (rebuild flow)
+	// and it sees subsequent mutations.
+	s.Remove(id2)
+	seen := 0
+	s.SetObserver(func(SegmentID, graph.NodeID, int, int) { seen++ })
+	s.Add(path(4, 5))
+	if seen != 2 {
+		t.Fatalf("observer attached after rebuild saw %d events, want 2", seen)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
