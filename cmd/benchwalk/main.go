@@ -4,11 +4,17 @@
 // writes the results to a JSON file (BENCH_walkgen.json at the repo root by
 // convention) so the performance trajectory is tracked across PRs.
 //
+// The maintainer storm replays the same arrivals through the incremental
+// pagerank.Maintainer and reports, next to throughput, the W(v) fast-path
+// skip rate and the social-store call counts the paper's cost analysis is
+// stated in.
+//
 // Usage:
 //
 //	go run ./cmd/benchwalk                  # full run: n=100k, d=10
 //	go run ./cmd/benchwalk -smoke           # small CI-sized run
 //	go run ./cmd/benchwalk -workers 1,4,8   # explicit worker counts
+//	go run ./cmd/benchwalk -maintstorm=false  # engine-only runs
 package main
 
 import (
@@ -26,6 +32,8 @@ import (
 	"fastppr/internal/engine"
 	"fastppr/internal/gen"
 	"fastppr/internal/graph"
+	"fastppr/internal/pagerank"
+	"fastppr/internal/socialstore"
 	"fastppr/internal/walkstore"
 )
 
@@ -39,6 +47,23 @@ type runResult struct {
 	UpdateEdges   int     `json:"update_edges"`
 	Rerouted      int64   `json:"rerouted_segments"`
 	EdgesPerSec   float64 `json:"update_edges_per_sec"`
+}
+
+// maintainerResult reports the incremental maintainer's storm replay: the
+// same arrivals consumed through pagerank.Maintainer, with the fast-path
+// skip rate and the call accounting against the social store.
+type maintainerResult struct {
+	Seconds     float64 `json:"seconds"`
+	Edges       int     `json:"edges"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	FastSkips   int64   `json:"fast_skips"`
+	EmptySkips  int64   `json:"empty_skips"`
+	SlowPaths   int64   `json:"slow_paths"`
+	SkipRate    float64 `json:"skip_rate"`
+	Rerouted    int64   `json:"rerouted_segments"`
+	Revived     int64   `json:"revived_segments"`
+	StoreReads  int64   `json:"store_reads"`
+	StoreWrites int64   `json:"store_writes"`
 }
 
 type report struct {
@@ -56,6 +81,8 @@ type report struct {
 	// the number the ISSUE's ≥3× acceptance criterion tracks (only
 	// meaningful on a multi-core host; see GOMAXPROCS).
 	SpeedupBuild float64 `json:"speedup_build"`
+	// MaintainerStorm is present unless -maintstorm=false.
+	MaintainerStorm *maintainerResult `json:"maintainer_storm,omitempty"`
 }
 
 func main() {
@@ -69,6 +96,7 @@ func main() {
 		out     = flag.String("out", "BENCH_walkgen.json", "output JSON path ('' to skip)")
 		workers = flag.String("workers", "", "comma-separated worker counts (default 1,P/2,P)")
 		smoke   = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
+		mstorm  = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
 	)
 	flag.Parse()
 	if *smoke {
@@ -119,6 +147,14 @@ func main() {
 		fmt.Printf("build speedup %dw vs %dw: %.2fx\n", last.Workers, first.Workers, rep.SpeedupBuild)
 	}
 
+	if *mstorm {
+		res := benchMaintainer(base, storm, *r, *eps, *seed)
+		rep.MaintainerStorm = &res
+		fmt.Printf("maintainer storm %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d)   store reads %d writes %d\n",
+			res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.FastSkips, res.EmptySkips, res.SlowPaths,
+			res.StoreReads, res.StoreWrites)
+	}
+
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -164,6 +200,40 @@ func benchOne(base *graph.Graph, nodes []graph.NodeID, storm []graph.Edge, r int
 	}
 	if s := storming.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(stats.Edges) / s
+	}
+	return res
+}
+
+// benchMaintainer replays the storm through the incremental maintainer on a
+// private clone of the graph, timing only the arrival loop. The metrics are
+// reset after bootstrap so the report isolates the incremental phase the
+// paper's cost analysis is about.
+func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64) maintainerResult {
+	soc := socialstore.New(base.Clone())
+	mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Seed: seed})
+	mt.Bootstrap()
+	soc.ResetMetrics()
+
+	t0 := time.Now()
+	mt.ApplyEdges(storm)
+	el := time.Since(t0)
+
+	c := mt.Counters()
+	met := soc.Metrics()
+	res := maintainerResult{
+		Seconds:     el.Seconds(),
+		Edges:       len(storm),
+		FastSkips:   c.FastSkips,
+		EmptySkips:  c.EmptySkips,
+		SlowPaths:   c.SlowPaths,
+		SkipRate:    c.SkipRate(),
+		Rerouted:    c.Rerouted,
+		Revived:     c.Revived,
+		StoreReads:  met.Reads,
+		StoreWrites: met.Writes,
+	}
+	if s := el.Seconds(); s > 0 {
+		res.EdgesPerSec = float64(len(storm)) / s
 	}
 	return res
 }

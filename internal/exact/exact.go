@@ -1,0 +1,146 @@
+// Package exact computes reference PageRank vectors by deterministic power
+// iteration — the statistical ground truth the Monte Carlo walk store is
+// tested against.
+//
+// The solver is dangling-aware in the same sense as the walk semantics used
+// everywhere else in this repository: a reset-walk that reaches a node with
+// no out-edges dies there (internal/walk truncates the segment). The visit
+// counts X_v the walk store accumulates therefore converge, after
+// normalization, to the *absorbing* visit distribution
+//
+//	pi ∝ sum_{t>=0} (1-eps)^t · u0 · P^t
+//
+// where u0 is uniform over the n walk sources and P is the row-substochastic
+// transition matrix (rows of dangling nodes are zero). On dangling-free
+// graphs this is the classical reset-walk PageRank: the unnormalized sum has
+// total mass 1/eps and eps·sum recovers the textbook vector. PageRank
+// computes exactly this law, so E[X_v / TotalVisits] matches it up to ratio
+// bias that vanishes with sample count — the property every statistical test
+// in internal/pagerank converges against.
+package exact
+
+import (
+	"math"
+	"slices"
+
+	"fastppr/internal/graph"
+)
+
+// PageRank returns the normalized dangling-absorbing visit distribution of
+// eps-reset walks on g started uniformly at random, computed by power
+// iteration. Iteration stops when the in-flight walk mass drops below tol
+// (the residual tail sums to less than tol, so entries carry at most tol
+// absolute error before normalization). eps must be in (0, 1]; tol must be
+// positive. The graph must be non-empty.
+func PageRank(g *graph.Graph, eps, tol float64) map[graph.NodeID]float64 {
+	if eps <= 0 || eps > 1 {
+		panic("exact: eps must be in (0, 1]")
+	}
+	if tol <= 0 {
+		panic("exact: tol must be positive")
+	}
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		panic("exact: empty graph")
+	}
+	idx := make(map[graph.NodeID]int, n)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	// Snapshot adjacency as index lists once; the iteration then never
+	// touches the (locked, sharded) graph again.
+	out := make([][]int32, n)
+	for i, v := range nodes {
+		ns := g.OutNeighbors(v)
+		row := make([]int32, len(ns))
+		for j, w := range ns {
+			row[j] = int32(idx[w])
+		}
+		out[i] = row
+	}
+
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	acc := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1 / float64(n) // every walk visits its source at t=0
+		acc[i] = cur[i]
+	}
+	// Mass decays at least as fast as (1-eps)^t, so this terminates in
+	// O(log(1/tol)/eps) rounds.
+	for mass := 1.0; mass*(1-eps)/eps > tol; {
+		for i := range next {
+			next[i] = 0
+		}
+		mass = 0
+		for i, row := range out {
+			if cur[i] == 0 || len(row) == 0 {
+				continue
+			}
+			w := (1 - eps) * cur[i] / float64(len(row))
+			for _, j := range row {
+				next[j] += w
+			}
+			mass += (1 - eps) * cur[i]
+		}
+		for i := range acc {
+			acc[i] += next[i]
+		}
+		cur, next = next, cur
+		if mass == 0 {
+			break
+		}
+	}
+
+	var total float64
+	for _, x := range acc {
+		total += x
+	}
+	scores := make(map[graph.NodeID]float64, n)
+	for i, v := range nodes {
+		scores[v] = acc[i] / total
+	}
+	return scores
+}
+
+// Ranking returns the nodes of scores in descending score order, ties broken
+// toward lower IDs — the same order internal/topk produces, so oracle and
+// Monte Carlo rankings are directly comparable.
+func Ranking(scores map[graph.NodeID]float64) []graph.NodeID {
+	nodes := make([]graph.NodeID, 0, len(scores))
+	for v := range scores {
+		nodes = append(nodes, v)
+	}
+	slices.SortFunc(nodes, func(a, b graph.NodeID) int {
+		if scores[a] != scores[b] {
+			if scores[a] > scores[b] {
+				return -1
+			}
+			return 1
+		}
+		if a != b {
+			if a < b {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+	return nodes
+}
+
+// L1 returns the L1 distance between two score vectors, treating missing
+// nodes as zero.
+func L1(a, b map[graph.NodeID]float64) float64 {
+	var d float64
+	for v, x := range a {
+		d += math.Abs(x - b[v])
+	}
+	for v, x := range b {
+		if _, ok := a[v]; !ok {
+			d += math.Abs(x)
+		}
+	}
+	return d
+}

@@ -1,0 +1,154 @@
+package exact
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"fastppr/internal/engine"
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+const tol = 1e-12
+
+func TestTwoNodeCycleIsUniform(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	pi := PageRank(g, 0.2, tol)
+	for _, v := range []graph.NodeID{1, 2} {
+		if math.Abs(pi[v]-0.5) > 1e-9 {
+			t.Fatalf("pi[%d]=%v want 0.5", v, pi[v])
+		}
+	}
+}
+
+func TestCycleIsUniform(t *testing.T) {
+	g := graph.New(0)
+	const n = 7
+	for i := 0; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%n))
+	}
+	pi := PageRank(g, 0.15, tol)
+	for v, x := range pi {
+		if math.Abs(x-1.0/n) > 1e-9 {
+			t.Fatalf("pi[%d]=%v want %v", v, x, 1.0/n)
+		}
+	}
+}
+
+// TestSingleEdgeClosedForm pins the dangling semantics against a hand
+// computation. Graph a->b with b dangling: a walk from a visits a, then b
+// with probability 1-eps and dies there; a walk from b visits b and dies.
+// Unnormalized visits: x_a = 1, x_b = (1-eps) + 1, so
+// pi_a = 1/(3-eps), pi_b = (2-eps)/(3-eps).
+func TestSingleEdgeClosedForm(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(10, 20)
+	const eps = 0.3
+	pi := PageRank(g, eps, tol)
+	wantA := 1 / (3 - eps)
+	wantB := (2 - eps) / (3 - eps)
+	if math.Abs(pi[10]-wantA) > 1e-9 || math.Abs(pi[20]-wantB) > 1e-9 {
+		t.Fatalf("pi=%v want a=%v b=%v", pi, wantA, wantB)
+	}
+}
+
+// TestFixedPointOnDanglingFreeGraph verifies the solver against the PageRank
+// recursion it never iterates directly: on a dangling-free graph the
+// normalized scores must satisfy pi_v = eps/n + (1-eps) * sum over in-edges
+// (u,v) of pi_u / d_u.
+func TestFixedPointOnDanglingFreeGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0))
+	g := gen.PreferentialAttachment(150, 4, rng)
+	// Make it dangling-free: give every sink an out-edge back to node 0.
+	for _, v := range g.Nodes() {
+		if g.OutDegree(v) == 0 {
+			g.AddEdge(v, 0)
+		}
+	}
+	const eps = 0.2
+	pi := PageRank(g, eps, tol)
+	nodes := g.Nodes()
+	n := float64(len(nodes))
+	for _, v := range nodes {
+		want := eps / n
+		for _, u := range g.InNeighbors(v) {
+			want += (1 - eps) * pi[u] / float64(g.OutDegree(u))
+		}
+		if math.Abs(pi[v]-want) > 1e-8 {
+			t.Fatalf("fixed-point residual at node %d: pi=%v recursion=%v", v, pi[v], want)
+		}
+	}
+}
+
+// TestMonteCarloAgreement checks the oracle against the walk engine it
+// exists to judge: fresh R-per-node walk segments must produce visit
+// fractions within Monte Carlo tolerance of the exact vector.
+func TestMonteCarloAgreement(t *testing.T) {
+	n, r := 300, 60
+	if testing.Short() {
+		n, r = 150, 30
+	}
+	rng := rand.New(rand.NewPCG(4, 0))
+	g := gen.PreferentialAttachment(n, 4, rng)
+	const eps = 0.2
+	store := walkstore.New()
+	eng := engine.New(g, store, engine.Config{Eps: eps, R: r, Workers: 4, Seed: 17})
+	eng.BuildStore(g.Nodes())
+
+	mc := make(map[graph.NodeID]float64)
+	total := float64(store.TotalVisits())
+	for v, x := range store.VisitCounts() {
+		mc[v] = float64(x) / total
+	}
+	pi := PageRank(g, eps, tol)
+	// The observed distance at these fixed seeds is ~0.02; the bound leaves
+	// 3x headroom for the smaller -short configuration.
+	if d := L1(mc, pi); d > 0.06 {
+		t.Fatalf("L1(monte carlo, exact)=%v exceeds tolerance", d)
+	}
+}
+
+func TestRankingOrderAndTies(t *testing.T) {
+	scores := map[graph.NodeID]float64{4: 0.1, 2: 0.5, 9: 0.1, 1: 0.3}
+	got := Ranking(scores)
+	want := []graph.NodeID{2, 1, 4, 9} // descending score, ties by ascending ID
+	if !slices.Equal(got, want) {
+		t.Fatalf("Ranking=%v want %v", got, want)
+	}
+}
+
+func TestL1HandlesMissingKeys(t *testing.T) {
+	a := map[graph.NodeID]float64{1: 0.5, 2: 0.5}
+	b := map[graph.NodeID]float64{1: 0.25, 3: 0.25}
+	if d := L1(a, b); math.Abs(d-1.0) > 1e-12 {
+		t.Fatalf("L1=%v want 1.0", d)
+	}
+	if d := L1(a, a); d != 0 {
+		t.Fatalf("L1(a,a)=%v want 0", d)
+	}
+}
+
+func TestPageRankPanicsOnBadInput(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	for name, f := range map[string]func(){
+		"eps=0":       func() { PageRank(g, 0, tol) },
+		"eps>1":       func() { PageRank(g, 1.5, tol) },
+		"tol=0":       func() { PageRank(g, 0.2, 0) },
+		"empty graph": func() { PageRank(graph.New(0), 0.2, tol) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,418 @@
+// Package pagerank turns the walk machinery into the paper's actual system:
+// an incremental PageRank maintainer that owns a walk store of R reset-walk
+// segments per node, serves estimates out of the store's visit counters, and
+// consumes an edge stream while keeping the stored walks distributed exactly
+// as if they had been freshly sampled on the current graph (Section 2.2's
+// maintenance loop).
+//
+// The headline cost saving is the W(v)-probability fast path. An arriving
+// edge (u, v) raises u's out-degree to d, and a stored walk step leaving u
+// must be redirected through the new edge with probability 1/d. With K
+// stored outgoing steps at u, *some* redirection is needed only with
+// probability 1-(1-1/d)^K — so the maintainer flips one coin against cheap
+// store counters and, on tails, skips the arrival without fetching a single
+// segment. The paper states the bound with W(u), the number of distinct
+// segments through u; this implementation uses the exact candidate count
+// K = X_u - T(u) (walkstore.Candidates), which the store tracks alongside
+// W(u) and which makes the skip lossless even when a segment revisits u or
+// ends there. On heads, the segment fetch is not followed by a second round
+// of naive coin flips: the reroute positions are sampled *conditioned on at
+// least one reroute* (truncated-geometric first success, independent flips
+// after), so estimates with the fast path enabled are drawn from exactly the
+// same distribution as with it disabled, and every non-skipped arrival
+// performs real work.
+//
+// All graph access on the update path — the edge write, the degree lookup,
+// and every step of regenerated walk tails — is routed through
+// socialstore.Store, so the call accounting the paper's cost analysis is
+// stated in falls out of Metrics(); per-arrival work beyond that is visible
+// in Counters().
+package pagerank
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"fastppr/internal/engine"
+	"fastppr/internal/graph"
+	"fastppr/internal/socialstore"
+	"fastppr/internal/topk"
+	"fastppr/internal/walk"
+	"fastppr/internal/walkstore"
+)
+
+// Config parameterizes a Maintainer.
+type Config struct {
+	// Eps is the walk reset probability, in (0, 1].
+	Eps float64
+	// R is the number of stored segments per node (the paper's R).
+	R int
+	// Workers sizes the engine worker pool used by Bootstrap; 0 means
+	// GOMAXPROCS. The incremental update path itself is serialized.
+	Workers int
+	// Seed seeds both the bootstrap walk generation and the update RNG, so a
+	// fixed-seed run is fully reproducible.
+	Seed uint64
+	// DisableFastPath turns the skip coin off: every arrival fetches the
+	// affected segments and flips per-step coins unconditionally. Estimates
+	// are drawn from the same distribution either way; the flag exists so
+	// tests and benchmarks can demonstrate that.
+	DisableFastPath bool
+}
+
+// Counters is a snapshot of the maintainer's update-path accounting.
+type Counters struct {
+	Arrivals   int64 // edges consumed
+	FastSkips  int64 // arrivals dismissed by the skip coin alone
+	EmptySkips int64 // arrivals whose source had no stored walk to perturb
+	SlowPaths  int64 // arrivals that fetched segments from the store
+	SlowNoops  int64 // slow paths that sampled no reroute (0 while the fast path is on)
+	Rerouted   int64 // segments redirected through a new edge mid-path
+	Revived    int64 // segments extended past a formerly dangling terminal
+	Seeded     int64 // segments generated for nodes first seen mid-stream
+	StepsIn    int64 // visits added by reroutes, revivals, and seeding
+	StepsOut   int64 // visits removed by reroutes
+	Estimates  int64 // Estimate/ApproxAll/TopK calls served
+}
+
+// SkipRate returns the fraction of arrivals the fast path skipped outright.
+func (c Counters) SkipRate() float64 {
+	if c.Arrivals == 0 {
+		return 0
+	}
+	return float64(c.FastSkips) / float64(c.Arrivals)
+}
+
+// Maintainer serves PageRank estimates over a dynamic graph. Estimates may
+// be read concurrently with updates; updates themselves are serialized.
+type Maintainer struct {
+	soc   *socialstore.Store
+	walks *walkstore.Store
+	eng   *engine.Engine
+	cfg   Config
+
+	mu        sync.Mutex // serializes the update path and guards rng, known, c
+	rng       *rand.Rand
+	known     map[graph.NodeID]bool // nodes owning R segments
+	c         Counters
+	estimates atomic.Int64
+	tailBuf   []graph.NodeID
+}
+
+// New returns a maintainer over the social store's graph with an empty walk
+// store. Call Bootstrap once to seed R segments per existing node before
+// streaming edges.
+func New(soc *socialstore.Store, cfg Config) *Maintainer {
+	if cfg.R <= 0 {
+		cfg.R = 1
+	}
+	walks := walkstore.New()
+	eng := engine.New(soc.Graph(), walks, engine.Config{
+		Eps: cfg.Eps, R: cfg.R, Workers: cfg.Workers, Seed: cfg.Seed,
+	})
+	return &Maintainer{
+		soc:   soc,
+		walks: walks,
+		eng:   eng,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9a6e)),
+		known: make(map[graph.NodeID]bool),
+	}
+}
+
+// Store returns the maintainer's walk store (the paper's PageRank Store).
+func (m *Maintainer) Store() *walkstore.Store { return m.walks }
+
+// Social returns the call-accounted graph store.
+func (m *Maintainer) Social() *socialstore.Store { return m.soc }
+
+// Bootstrap generates cfg.R segments for every node currently in the graph
+// using the parallel engine and marks those nodes as owned. It returns the
+// number of walk steps stored. Bootstrap is the paper's offline
+// preprocessing pass; it walks the graph directly and is not call-accounted.
+// Call it exactly once, before the first ApplyEdge.
+func (m *Maintainer) Bootstrap() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nodes := m.soc.Graph().Nodes()
+	steps := m.eng.BuildStore(nodes)
+	for _, v := range nodes {
+		m.known[v] = true
+	}
+	return steps
+}
+
+// ApplyEdge consumes one edge arrival: it writes the edge through the social
+// store, repairs the affected stored walks (taking the fast path when the
+// skip coin allows), and seeds R fresh segments for any endpoint seen for
+// the first time.
+func (m *Maintainer) ApplyEdge(ed graph.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applyLocked(ed)
+}
+
+// ApplyEdges consumes a stream of arrivals in order.
+func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ed := range edges {
+		m.applyLocked(ed)
+	}
+}
+
+func (m *Maintainer) applyLocked(ed graph.Edge) {
+	m.c.Arrivals++
+	u, v := ed.From, ed.To
+	m.soc.AddEdge(u, v)
+	d := m.soc.OutDegree(u)
+	// Repair walks sampled before this edge existed, then seed new
+	// endpoints: freshly seeded walks already sample the new edge, so
+	// rerouting them too would over-weight it.
+	if d == 1 {
+		m.reviveLocked(u, v)
+	} else {
+		m.rerouteLocked(u, v, d)
+	}
+	m.ensureNodeLocked(u)
+	m.ensureNodeLocked(v)
+}
+
+// rerouteLocked repairs stored walks after u's out-degree rose to d >= 2:
+// every stored outgoing step from u independently switches to the new edge
+// with probability 1/d, and a switched segment keeps its prefix, steps to v,
+// and continues with a fresh geometric tail.
+func (m *Maintainer) rerouteLocked(u, v graph.NodeID, d int) {
+	k := m.walks.Candidates(u)
+	if k == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	inv := 1.0 / float64(d)
+	// first is the global index (over the fixed enumeration of all k
+	// candidate steps) of the first switch, pre-sampled when the fast path's
+	// skip coin came up heads; -1 means flip every candidate unconditionally.
+	first := int64(-1)
+	if !m.cfg.DisableFastPath {
+		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.c.FastSkips++
+			return
+		}
+		first = truncatedGeometric(m.rng, inv, k)
+	}
+	m.c.SlowPaths++
+	rerouted := int64(0)
+	idx := int64(0)
+	for _, id := range m.sortedVisitorsLocked(u) {
+		p := m.walks.Path(id) // stable: ReplaceTail relocates, never mutates
+		pos := -1
+		for i := 0; i < len(p)-1 && pos < 0; i++ {
+			if p[i] != u {
+				continue
+			}
+			var hit bool
+			switch {
+			case first < 0:
+				hit = m.rng.Float64() < inv
+			case idx < first:
+				hit = false
+			case idx == first:
+				hit = true
+			default:
+				hit = m.rng.Float64() < inv
+			}
+			idx++
+			if hit {
+				pos = i
+			}
+		}
+		if pos < 0 {
+			continue
+		}
+		// The segment's remaining candidates are superseded by the reroute,
+		// but they still occupy slots in the enumeration `first` was drawn
+		// over.
+		for i := pos + 1; i < len(p)-1; i++ {
+			if p[i] == u {
+				idx++
+			}
+		}
+		m.redirectLocked(id, pos+1, v)
+		rerouted++
+	}
+	m.c.Rerouted += rerouted
+	if rerouted == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// reviveLocked repairs stored walks after u gained its very first out-edge.
+// While u was dangling every walk reaching it died there, so all stored
+// visits to u are terminal; each such walk now continues with probability
+// 1-eps, necessarily through the new (only) edge.
+func (m *Maintainer) reviveLocked(u, v graph.NodeID) {
+	t := m.walks.Terminals(u)
+	if t == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	eps := m.cfg.Eps
+	first := int64(-1)
+	if !m.cfg.DisableFastPath {
+		if m.rng.Float64() < math.Pow(eps, float64(t)) {
+			m.c.FastSkips++
+			return
+		}
+		first = truncatedGeometric(m.rng, 1-eps, t)
+	}
+	m.c.SlowPaths++
+	revived := int64(0)
+	idx := int64(0)
+	for _, id := range m.sortedVisitorsLocked(u) {
+		p := m.walks.Path(id)
+		if p[len(p)-1] != u {
+			continue // not a terminal visit; impossible while u was dangling
+		}
+		var cont bool
+		switch {
+		case first < 0:
+			cont = m.rng.Float64() >= eps
+		case idx < first:
+			cont = false
+		case idx == first:
+			cont = true
+		default:
+			cont = m.rng.Float64() >= eps
+		}
+		idx++
+		if !cont {
+			continue
+		}
+		m.redirectLocked(id, len(p), v)
+		revived++
+	}
+	m.c.Revived += revived
+	if revived == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// redirectLocked truncates segment id to keep nodes, steps it to v, and
+// extends it with a fresh geometric tail sampled through the social store.
+func (m *Maintainer) redirectLocked(id walkstore.SegmentID, keep int, v graph.NodeID) {
+	m.tailBuf = append(m.tailBuf[:0], v)
+	m.tailBuf = walk.AppendContinue(m.soc, v, m.cfg.Eps, m.rng, m.tailBuf)
+	removed, added := m.walks.ReplaceTail(id, keep, m.tailBuf)
+	m.c.StepsOut += int64(removed)
+	m.c.StepsIn += int64(added)
+}
+
+// ensureNodeLocked seeds R fresh segments for a node first seen mid-stream,
+// preserving the invariant that every known node owns R walks.
+func (m *Maintainer) ensureNodeLocked(v graph.NodeID) {
+	if m.known[v] {
+		return
+	}
+	m.known[v] = true
+	paths := make([][]graph.NodeID, m.cfg.R)
+	for i := range paths {
+		seg := walk.PageRank(m.soc, v, m.cfg.Eps, m.rng)
+		paths[i] = seg.Path
+		m.c.StepsIn += int64(len(seg.Path))
+	}
+	m.walks.AddBatch(paths)
+	m.c.Seeded += int64(len(paths))
+}
+
+// sortedVisitorsLocked returns the segments visiting u in ascending ID
+// order, making a fixed-seed run reproducible regardless of the visitor
+// set's internal representation.
+func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID {
+	ids := m.walks.Visitors(u)
+	slices.Sort(ids)
+	return ids
+}
+
+// truncatedGeometric samples the index of the first success among k
+// independent Bernoulli(p) trials, conditioned on at least one success:
+// P(J = j) = (1-p)^j p / (1-(1-p)^k) for j in [0, k).
+func truncatedGeometric(rng *rand.Rand, p float64, k int64) int64 {
+	q := 1 - p
+	u := rng.Float64()
+	j := int64(math.Log(1-u*(1-math.Pow(q, float64(k)))) / math.Log(q))
+	if j < 0 {
+		j = 0
+	}
+	if j >= k {
+		j = k - 1
+	}
+	return j
+}
+
+// Estimate returns the PageRank estimate of v: X_v / TotalVisits, the
+// dangling-robust normalization of the paper's eps·X_v/(nR) (identical on
+// dangling-free graphs, where E[TotalVisits] = nR/eps). Safe to call
+// concurrently with updates: numerator and denominator are read under one
+// store lock, so the ratio always reflects a real store state.
+func (m *Maintainer) Estimate(v graph.NodeID) float64 {
+	m.estimates.Add(1)
+	m.soc.CountFetch()
+	visits, total := m.walks.VisitFraction(v)
+	if total == 0 {
+		return 0
+	}
+	return float64(visits) / float64(total)
+}
+
+// snapshot fetches the visit-count table once (a single store lock) and its
+// sum, recording the serve against both accounting layers.
+func (m *Maintainer) snapshot() (map[graph.NodeID]int64, int64) {
+	m.estimates.Add(1)
+	m.soc.CountFetch()
+	counts := m.walks.VisitCounts()
+	var total int64
+	for _, x := range counts {
+		total += x
+	}
+	return counts, total
+}
+
+// ApproxAll returns the full estimate vector as one consistent snapshot.
+// Nodes never visited by any stored walk are absent.
+func (m *Maintainer) ApproxAll() map[graph.NodeID]float64 {
+	counts, total := m.snapshot()
+	scores := make(map[graph.NodeID]float64, len(counts))
+	if total == 0 {
+		return scores
+	}
+	for v, x := range counts {
+		scores[v] = float64(x) / float64(total)
+	}
+	return scores
+}
+
+// TopK returns the k highest-estimate nodes, descending, ties toward lower
+// IDs.
+func (m *Maintainer) TopK(k int) []topk.Item {
+	counts, total := m.snapshot()
+	c := topk.New(k)
+	if total == 0 {
+		return c.Items()
+	}
+	for v, x := range counts {
+		c.Offer(v, float64(x)/float64(total))
+	}
+	return c.Items()
+}
+
+// Counters returns a snapshot of the update-path accounting.
+func (m *Maintainer) Counters() Counters {
+	m.mu.Lock()
+	c := m.c
+	m.mu.Unlock()
+	c.Estimates = m.estimates.Load()
+	return c
+}

@@ -16,6 +16,7 @@
 package socialstore
 
 import (
+	"math/rand/v2"
 	"sync/atomic"
 	"time"
 
@@ -125,6 +126,22 @@ func (s *Store) InNeighbors(v graph.NodeID) []graph.NodeID {
 func (s *Store) OutDegree(v graph.NodeID) int {
 	s.countRead(v)
 	return s.g.OutDegree(v)
+}
+
+// RandomOutNeighbor samples a uniformly random out-neighbor of v (one store
+// call). ok is false when v is dangling. With the matching In variant this
+// makes the store a walk.Neighborer, so walk regeneration inside the
+// incremental maintainers is call-accounted per step.
+func (s *Store) RandomOutNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	s.countRead(v)
+	return s.g.RandomOutNeighbor(v, rng)
+}
+
+// RandomInNeighbor samples a uniformly random in-neighbor of v (one store
+// call). ok is false when v has no incoming edges.
+func (s *Store) RandomInNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	s.countRead(v)
+	return s.g.RandomInNeighbor(v, rng)
 }
 
 // CountFetch records one fetch operation against the store. The fetch

@@ -1,0 +1,194 @@
+package socialstore
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+)
+
+func TestCallAccountingExactCounts(t *testing.T) {
+	g := graph.New(0)
+	s := New(g, WithShards(4))
+	rng := rand.New(rand.NewPCG(1, 0))
+
+	s.AddEdge(1, 2)
+	s.AddEdge(1, 3)
+	s.AddEdge(2, 3)
+	if !s.RemoveEdge(2, 3) {
+		t.Fatal("RemoveEdge of existing edge reported false")
+	}
+	if s.RemoveEdge(9, 9) {
+		t.Fatal("RemoveEdge of absent edge reported true")
+	}
+
+	s.OutNeighbors(1)
+	s.InNeighbors(3)
+	s.OutDegree(1)
+	s.RandomOutNeighbor(1, rng)
+	s.RandomInNeighbor(3, rng)
+	s.CountFetch()
+	s.CountFetch()
+
+	m := s.Metrics()
+	if m.Writes != 5 {
+		t.Fatalf("Writes=%d want 5", m.Writes)
+	}
+	if m.Reads != 5 {
+		t.Fatalf("Reads=%d want 5", m.Reads)
+	}
+	if m.Fetches != 2 {
+		t.Fatalf("Fetches=%d want 2", m.Fetches)
+	}
+	if len(m.PerShardReads) != 4 {
+		t.Fatalf("PerShardReads has %d shards, want 4", len(m.PerShardReads))
+	}
+	var sum int64
+	for _, r := range m.PerShardReads {
+		sum += r
+	}
+	if sum != m.Reads {
+		t.Fatalf("PerShardReads sum=%d, Reads=%d", sum, m.Reads)
+	}
+
+	s.ResetMetrics()
+	m = s.Metrics()
+	if m.Reads != 0 || m.Writes != 0 || m.Fetches != 0 || m.SimulatedLatency != 0 {
+		t.Fatalf("metrics after reset: %+v", m)
+	}
+	for _, r := range m.PerShardReads {
+		if r != 0 {
+			t.Fatalf("per-shard reads after reset: %v", m.PerShardReads)
+		}
+	}
+}
+
+// TestConcurrentAccounting hammers the counters from many goroutines (run
+// under -race): totals must be exact and the shard breakdown must sum to the
+// global read counter.
+func TestConcurrentAccounting(t *testing.T) {
+	g := graph.New(0)
+	for i := 0; i < 64; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%64))
+	}
+	s := New(g, WithShards(8))
+	const workers = 8
+	const readsPer = 500
+	const writesPer = 50
+	const fetchesPer = 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 0))
+			for i := 0; i < readsPer; i++ {
+				v := graph.NodeID(rng.IntN(64))
+				switch i % 3 {
+				case 0:
+					s.OutDegree(v)
+				case 1:
+					s.OutNeighbors(v)
+				default:
+					s.RandomOutNeighbor(v, rng)
+				}
+			}
+			for i := 0; i < writesPer; i++ {
+				s.AddEdge(graph.NodeID(rng.IntN(64)), graph.NodeID(64+rng.IntN(64)))
+			}
+			for i := 0; i < fetchesPer; i++ {
+				s.CountFetch()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Reads != workers*readsPer {
+		t.Fatalf("Reads=%d want %d", m.Reads, workers*readsPer)
+	}
+	if m.Writes != workers*writesPer {
+		t.Fatalf("Writes=%d want %d", m.Writes, workers*writesPer)
+	}
+	if m.Fetches != workers*fetchesPer {
+		t.Fatalf("Fetches=%d want %d", m.Fetches, workers*fetchesPer)
+	}
+	var sum int64
+	for _, r := range m.PerShardReads {
+		sum += r
+	}
+	if sum != m.Reads {
+		t.Fatalf("PerShardReads sum=%d, Reads=%d", sum, m.Reads)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedLatencyAccrual(t *testing.T) {
+	g := graph.New(0)
+	const perCall = 3 * time.Millisecond
+	s := New(g, WithSimulatedLatency(perCall))
+	s.AddEdge(1, 2)        // 1 write
+	s.OutDegree(1)         // 1 read
+	s.OutNeighbors(1)      // 1 read
+	s.CountFetch()         // 1 fetch
+	if !s.RemoveEdge(1, 2) {
+		t.Fatal("RemoveEdge failed")
+	} // 1 write
+	want := 5 * perCall
+	if got := s.Metrics().SimulatedLatency; got != want {
+		t.Fatalf("SimulatedLatency=%v want %v", got, want)
+	}
+	// No latency configured: stays zero.
+	s2 := New(g)
+	s2.OutDegree(1)
+	if got := s2.Metrics().SimulatedLatency; got != 0 {
+		t.Fatalf("latency accrued without option: %v", got)
+	}
+}
+
+// TestZeroDriftAgainstGraph checks that every read the store serves is
+// byte-identical to asking the wrapped graph directly.
+func TestZeroDriftAgainstGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	g := gen.PreferentialAttachment(200, 4, rng)
+	s := New(g)
+	for _, v := range g.Nodes() {
+		if got, want := s.OutDegree(v), g.OutDegree(v); got != want {
+			t.Fatalf("OutDegree(%d)=%d graph says %d", v, got, want)
+		}
+		if got, want := s.OutNeighbors(v), g.OutNeighbors(v); !slices.Equal(got, want) {
+			t.Fatalf("OutNeighbors(%d)=%v graph says %v", v, got, want)
+		}
+		if got, want := s.InNeighbors(v), g.InNeighbors(v); !slices.Equal(got, want) {
+			t.Fatalf("InNeighbors(%d)=%v graph says %v", v, got, want)
+		}
+		if outs := g.OutNeighbors(v); len(outs) > 0 {
+			w, ok := s.RandomOutNeighbor(v, rng)
+			if !ok || !slices.Contains(outs, w) {
+				t.Fatalf("RandomOutNeighbor(%d)=%d ok=%v not in %v", v, w, ok, outs)
+			}
+		} else {
+			if _, ok := s.RandomOutNeighbor(v, rng); ok {
+				t.Fatalf("RandomOutNeighbor(%d) ok on dangling node", v)
+			}
+		}
+	}
+	// Mutations through the store land in the graph.
+	s.AddEdge(1000, 1001)
+	if !g.HasEdge(1000, 1001) {
+		t.Fatal("AddEdge through store did not reach the graph")
+	}
+}
+
+func TestGraphAccessor(t *testing.T) {
+	g := graph.New(0)
+	if s := New(g); s.Graph() != g {
+		t.Fatal("Graph() does not return the wrapped graph")
+	}
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+func prpEq(a, b PrecisionRecallPoint) bool {
+	return math.Abs(a.Recall-b.Recall) < 1e-12 && math.Abs(a.Precision-b.Precision) < 1e-12
+}
+
+// TestPrecisionRecallCurveFixture hand-computes the curve for a ranking with
+// a duplicate retrieved entry: retrieved (a, b, a, c) against relevant
+// {a, c}; the second a must not consume a rank.
+func TestPrecisionRecallCurveFixture(t *testing.T) {
+	retrieved := []graph.NodeID{1, 2, 1, 3}
+	relevant := map[graph.NodeID]bool{1: true, 3: true}
+	got := PrecisionRecallCurve(retrieved, relevant)
+	want := []PrecisionRecallPoint{
+		{Recall: 0.5, Precision: 1.0},     // rank 1: a, hit
+		{Recall: 0.5, Precision: 0.5},     // rank 2: b, miss
+		{Recall: 1.0, Precision: 2.0 / 3}, // rank 3: c, hit (dup a skipped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("curve has %d points, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !prpEq(got[i], want[i]) {
+			t.Fatalf("point %d = %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPrecisionRecallCurveEdgeCases(t *testing.T) {
+	if got := PrecisionRecallCurve([]graph.NodeID{1, 2}, nil); got != nil {
+		t.Fatalf("empty relevant set: got %v want nil", got)
+	}
+	if got := PrecisionRecallCurve(nil, map[graph.NodeID]bool{1: true}); len(got) != 0 {
+		t.Fatalf("empty retrieved: got %v want empty", got)
+	}
+	// Nothing relevant ever retrieved: recall stays 0, precision decays.
+	got := PrecisionRecallCurve([]graph.NodeID{5, 6}, map[graph.NodeID]bool{1: true})
+	want := []PrecisionRecallPoint{{Recall: 0, Precision: 0}, {Recall: 0, Precision: 0}}
+	for i := range want {
+		if !prpEq(got[i], want[i]) {
+			t.Fatalf("point %d = %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInterpolatedPrecision11Fixture checks the 11-point interpolation on a
+// hand-computed curve: max precision over all points with recall >= level.
+func TestInterpolatedPrecision11Fixture(t *testing.T) {
+	curve := []PrecisionRecallPoint{
+		{Recall: 0.5, Precision: 1.0},
+		{Recall: 0.5, Precision: 0.5},
+		{Recall: 1.0, Precision: 2.0 / 3},
+	}
+	got := InterpolatedPrecision11(curve)
+	for i := 0; i <= 10; i++ {
+		want := 2.0 / 3 // only the last point reaches recall > 0.5
+		if float64(i)/10 <= 0.5 {
+			want = 1.0 // the first point (recall 0.5, precision 1) qualifies
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("level %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestInterpolatedPrecision11Empty(t *testing.T) {
+	got := InterpolatedPrecision11(nil)
+	for i, x := range got {
+		if x != 0 {
+			t.Fatalf("level %d of empty curve = %v, want 0", i, x)
+		}
+	}
+	// A curve that never reaches recall 1 must report 0 at the top levels.
+	partial := InterpolatedPrecision11([]PrecisionRecallPoint{{Recall: 0.3, Precision: 0.8}})
+	if partial[0] != 0.8 || partial[3] != 0.8 {
+		t.Fatalf("levels <= 0.3 should be 0.8: %v", partial)
+	}
+	if partial[4] != 0 || partial[10] != 0 {
+		t.Fatalf("levels > 0.3 should be 0: %v", partial)
+	}
+}
+
+func TestMeanCurves(t *testing.T) {
+	a := [11]float64{}
+	b := [11]float64{}
+	for i := range a {
+		a[i] = 1
+		b[i] = 0.5
+	}
+	got := MeanCurves([][11]float64{a, b})
+	for i := range got {
+		if math.Abs(got[i]-0.75) > 1e-12 {
+			t.Fatalf("mean[%d]=%v want 0.75", i, got[i])
+		}
+	}
+	if got := MeanCurves(nil); got != [11]float64{} {
+		t.Fatalf("mean of no curves = %v, want zeros", got)
+	}
+}

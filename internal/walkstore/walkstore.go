@@ -13,6 +13,12 @@
 //	       correct scale);
 //	W(v) — number of distinct stored segments visiting v, used by the
 //	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path.
+//	T(v) — number of stored segments whose path *ends* at v (Terminals).
+//	       Candidates(v) = X_v - T(v) counts the outgoing steps stored
+//	       segments take from v, which is the exact exponent for the skip
+//	       coin: an arriving edge (v, w) needs no rerouting with probability
+//	       (1-1/d)^Candidates(v), so the incremental maintainer can skip the
+//	       whole arrival on one counter read without fetching any path.
 //
 // Storage layout. Segment paths live in one grow-only arena ([]graph.NodeID)
 // addressed by (offset, length); mutation never writes inside the occupied
@@ -157,6 +163,7 @@ type Store struct {
 	owned       map[graph.NodeID][]SegmentID
 	visitors    map[graph.NodeID]*visitorSet
 	visits      map[graph.NodeID]int64 // X_v
+	terminals   map[graph.NodeID]int64 // T(v): live segments ending at v
 	totalVisits int64
 	liveNodes   int64 // arena slots referenced by live segments
 	numLive     int
@@ -166,9 +173,10 @@ type Store struct {
 // New returns an empty store.
 func New() *Store {
 	return &Store{
-		owned:    make(map[graph.NodeID][]SegmentID),
-		visitors: make(map[graph.NodeID]*visitorSet),
-		visits:   make(map[graph.NodeID]int64),
+		owned:     make(map[graph.NodeID][]SegmentID),
+		visitors:  make(map[graph.NodeID]*visitorSet),
+		visits:    make(map[graph.NodeID]int64),
+		terminals: make(map[graph.NodeID]int64),
 	}
 }
 
@@ -222,10 +230,28 @@ func (s *Store) addLocked(path []graph.NodeID) SegmentID {
 	s.liveNodes += int64(len(path))
 	src := path[0]
 	s.owned[src] = append(s.owned[src], id)
+	s.terminals[path[len(path)-1]]++
 	for pos, v := range path {
 		s.addVisitLocked(id, v, pos)
 	}
 	return id
+}
+
+// decTerminalLocked drops one terminal count of v, clearing empty entries.
+func (s *Store) decTerminalLocked(v graph.NodeID) {
+	s.terminals[v]--
+	if s.terminals[v] == 0 {
+		delete(s.terminals, v)
+	}
+}
+
+// retargetTerminalLocked moves one terminal count from old to new.
+func (s *Store) retargetTerminalLocked(oldEnd, newEnd graph.NodeID) {
+	if oldEnd == newEnd {
+		return
+	}
+	s.decTerminalLocked(oldEnd)
+	s.terminals[newEnd]++
 }
 
 func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
@@ -324,6 +350,32 @@ func (s *Store) Visits(v graph.NodeID) int64 {
 	return s.visits[v]
 }
 
+// Terminals returns T(v), the number of stored segments whose path ends at v.
+func (s *Store) Terminals(v graph.NodeID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.terminals[v]
+}
+
+// Candidates returns X_v - T(v): the number of outgoing walk steps stored
+// segments take from v. An edge arriving at source v perturbs the store with
+// probability exactly 1-(1-1/d)^Candidates(v), the quantity behind the
+// incremental maintainer's skip coin (the paper states the bound with W(v),
+// which coincides when segments visit v at most once and never end there).
+func (s *Store) Candidates(v graph.NodeID) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.visits[v] - s.terminals[v]
+}
+
+// VisitFraction returns X_v together with the total visit count, read under
+// one lock so the ratio is a consistent snapshot even while updates land.
+func (s *Store) VisitFraction(v graph.NodeID) (visits, total int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.visits[v], s.totalVisits
+}
+
 // TotalVisits returns the sum of X_v over all nodes (= total stored steps).
 func (s *Store) TotalVisits() int64 {
 	s.mu.RLock()
@@ -374,6 +426,11 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 		return 0, 0
 	}
 	old := s.pathLocked(r)
+	newEnd := old[keep-1]
+	if len(newTail) > 0 {
+		newEnd = newTail[len(newTail)-1]
+	}
+	s.retargetTerminalLocked(old[r.n-1], newEnd)
 	for pos := int(r.n) - 1; pos >= keep; pos-- {
 		s.removeVisitLocked(id, old[pos], pos)
 		removed++
@@ -400,6 +457,7 @@ func (s *Store) Remove(id SegmentID) {
 	defer s.mu.Unlock()
 	r := s.refLocked(id)
 	p := s.pathLocked(r)
+	s.decTerminalLocked(p[len(p)-1])
 	for pos := len(p) - 1; pos >= 0; pos-- {
 		s.removeVisitLocked(id, p[pos], pos)
 	}
@@ -426,6 +484,7 @@ func (s *Store) Validate() error {
 	defer s.mu.RUnlock()
 	wantVisits := make(map[graph.NodeID]int64)
 	wantVisitors := make(map[graph.NodeID]map[SegmentID]int32)
+	wantTerminals := make(map[graph.NodeID]int64)
 	var total, live int64
 	numLive := 0
 	for i := range s.segs {
@@ -443,6 +502,7 @@ func (s *Store) Validate() error {
 		}
 		p := s.pathLocked(r)
 		live += int64(len(p))
+		wantTerminals[p[len(p)-1]]++
 		for _, v := range p {
 			wantVisits[v]++
 			total++
@@ -493,6 +553,14 @@ func (s *Store) Validate() error {
 	for v := range s.visitors {
 		if wantVisits[v] == 0 {
 			return fmt.Errorf("walkstore: stale visitor set for node %d", v)
+		}
+	}
+	if len(wantTerminals) != len(s.terminals) {
+		return fmt.Errorf("walkstore: terminal table has %d nodes, want %d", len(s.terminals), len(wantTerminals))
+	}
+	for v, c := range wantTerminals {
+		if s.terminals[v] != c {
+			return fmt.Errorf("walkstore: terminals[%d]=%d want %d", v, s.terminals[v], c)
 		}
 	}
 	for id := range s.owned {

@@ -240,6 +240,79 @@ func TestPanicsOnBadUse(t *testing.T) {
 	}
 }
 
+// TestTerminalsAndCandidates pins the T(v) counter and the derived
+// candidate count X_v - T(v) that the incremental maintainer's skip coin
+// exponentiates, across every mutation path.
+func TestTerminalsAndCandidates(t *testing.T) {
+	s := New()
+	a := s.Add(path(1, 2, 3))
+	b := s.Add(path(2, 3))
+	c := s.Add(path(3))
+	if got := s.Terminals(3); got != 3 {
+		t.Fatalf("Terminals(3)=%d want 3", got)
+	}
+	if got := s.Candidates(3); got != 0 {
+		t.Fatalf("Candidates(3)=%d want 0 (all visits terminal)", got)
+	}
+	if got := s.Candidates(2); got != 2 {
+		t.Fatalf("Candidates(2)=%d want 2", got)
+	}
+
+	// ReplaceTail moves the terminal from 3 to 9.
+	s.ReplaceTail(a, 2, path(9))
+	if got := s.Terminals(3); got != 2 {
+		t.Fatalf("Terminals(3)=%d want 2 after ReplaceTail", got)
+	}
+	if got := s.Terminals(9); got != 1 {
+		t.Fatalf("Terminals(9)=%d want 1", got)
+	}
+	// Pure truncation: the kept prefix's last node becomes terminal.
+	s.ReplaceTail(a, 1, nil)
+	if got := s.Terminals(1); got != 1 {
+		t.Fatalf("Terminals(1)=%d want 1 after truncation", got)
+	}
+	if got := s.Terminals(9); got != 0 {
+		t.Fatalf("Terminals(9)=%d want 0 after truncation", got)
+	}
+	// A path revisiting its terminal node: 5 appears twice, once terminal.
+	d := s.Add(path(5, 6, 5))
+	if got, want := s.Visits(5), int64(2); got != want {
+		t.Fatalf("Visits(5)=%d want %d", got, want)
+	}
+	if got := s.Terminals(5); got != 1 {
+		t.Fatalf("Terminals(5)=%d want 1", got)
+	}
+	if got := s.Candidates(5); got != 1 {
+		t.Fatalf("Candidates(5)=%d want 1", got)
+	}
+
+	s.Remove(b)
+	s.Remove(c)
+	s.Remove(d)
+	if got := s.Terminals(3); got != 0 {
+		t.Fatalf("Terminals(3)=%d want 0 after removals", got)
+	}
+	if got := s.Terminals(5); got != 0 {
+		t.Fatalf("Terminals(5)=%d want 0 after removals", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVisitFraction(t *testing.T) {
+	s := New()
+	s.Add(path(1, 2, 2))
+	s.Add(path(3))
+	visits, total := s.VisitFraction(2)
+	if visits != 2 || total != 4 {
+		t.Fatalf("VisitFraction(2)=(%d,%d) want (2,4)", visits, total)
+	}
+	if visits, total = s.VisitFraction(99); visits != 0 || total != 4 {
+		t.Fatalf("VisitFraction(99)=(%d,%d) want (0,4)", visits, total)
+	}
+}
+
 func mustPanic(t *testing.T, name string, f func()) {
 	t.Helper()
 	defer func() {
