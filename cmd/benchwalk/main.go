@@ -33,6 +33,7 @@ import (
 	"fastppr/internal/gen"
 	"fastppr/internal/graph"
 	"fastppr/internal/pagerank"
+	"fastppr/internal/salsa"
 	"fastppr/internal/socialstore"
 	"fastppr/internal/walkstore"
 )
@@ -66,6 +67,26 @@ type maintainerResult struct {
 	StoreWrites int64   `json:"store_writes"`
 }
 
+// salsaResult reports the SALSA maintainer's storm replay and the
+// personalized-query latency/cost profile: mean store calls per query next
+// to the Theorem 8 accounting ceiling those calls are measured against.
+type salsaResult struct {
+	BootstrapSeconds float64 `json:"bootstrap_seconds"`
+	StormSeconds     float64 `json:"storm_seconds"`
+	Edges            int     `json:"edges"`
+	EdgesPerSec      float64 `json:"edges_per_sec"`
+	SkipRate         float64 `json:"skip_rate"`
+	Rerouted         int64   `json:"rerouted_segments"`
+	Revived          int64   `json:"revived_segments"`
+	Queries          int     `json:"queries"`
+	QueryWalks       int     `json:"query_walks"`
+	MeanQueryMillis  float64 `json:"mean_query_millis"`
+	MeanStoreCalls   float64 `json:"mean_store_calls_per_query"`
+	MaxStoreCalls    int64   `json:"max_store_calls_per_query"`
+	Theorem8Bound    float64 `json:"theorem8_bound_per_query"`
+	MeanStitched     float64 `json:"mean_stitched_segments_per_query"`
+}
+
 type report struct {
 	Timestamp    string      `json:"timestamp"`
 	GoVersion    string      `json:"go_version"`
@@ -83,6 +104,8 @@ type report struct {
 	SpeedupBuild float64 `json:"speedup_build"`
 	// MaintainerStorm is present unless -maintstorm=false.
 	MaintainerStorm *maintainerResult `json:"maintainer_storm,omitempty"`
+	// SalsaStorm is present unless -salsa=false.
+	SalsaStorm *salsaResult `json:"salsa_storm,omitempty"`
 }
 
 func main() {
@@ -97,10 +120,14 @@ func main() {
 		workers = flag.String("workers", "", "comma-separated worker counts (default 1,P/2,P)")
 		smoke   = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
 		mstorm  = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
+		dosalsa = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
+		queries = flag.Int("queries", 20, "personalized SALSA queries to profile")
+		qwalks  = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 	)
 	flag.Parse()
 	if *smoke {
 		*n, *d, *r, *updates = 2_000, 5, 4, 500
+		*queries, *qwalks = 5, 200
 	}
 	if *eps <= 0 || *eps > 1 {
 		fmt.Fprintf(os.Stderr, "benchwalk: -eps must be in (0, 1], got %g\n", *eps)
@@ -153,6 +180,16 @@ func main() {
 		fmt.Printf("maintainer storm %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d)   store reads %d writes %d\n",
 			res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.FastSkips, res.EmptySkips, res.SlowPaths,
 			res.StoreReads, res.StoreWrites)
+	}
+
+	if *dosalsa {
+		res := benchSalsa(base, storm, *r, *eps, *seed, *queries, *qwalks)
+		rep.SalsaStorm = &res
+		fmt.Printf("salsa storm      %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived)\n",
+			res.StormSeconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived)
+		fmt.Printf("salsa queries    %d x %d walks: %.2fms/query, store calls mean %.0f max %d (Theorem 8 ceiling %.0f), %.0f segments stitched/query\n",
+			res.Queries, res.QueryWalks, res.MeanQueryMillis, res.MeanStoreCalls, res.MaxStoreCalls,
+			res.Theorem8Bound, res.MeanStitched)
 	}
 
 	if *out != "" {
@@ -234,6 +271,62 @@ func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, 
 	}
 	if s := el.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(len(storm)) / s
+	}
+	return res
+}
+
+// benchSalsa replays the storm through the SALSA maintainer on a private
+// clone, then profiles personalized queries from random sources: wall-clock
+// latency and the measured Social Store calls per query against the
+// Theorem 8 accounting ceiling.
+func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks int) salsaResult {
+	soc := socialstore.New(base.Clone())
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks})
+	t0 := time.Now()
+	mt.Bootstrap()
+	boot := time.Since(t0)
+	soc.ResetMetrics()
+
+	t1 := time.Now()
+	mt.ApplyEdges(storm)
+	storming := time.Since(t1)
+
+	c := mt.Counters()
+	res := salsaResult{
+		BootstrapSeconds: boot.Seconds(),
+		StormSeconds:     storming.Seconds(),
+		Edges:            len(storm),
+		SkipRate:         c.SkipRate(),
+		Rerouted:         c.Rerouted,
+		Revived:          c.Revived,
+		Queries:          queries,
+		QueryWalks:       qwalks,
+	}
+	if s := storming.Seconds(); s > 0 {
+		res.EdgesPerSec = float64(len(storm)) / s
+	}
+
+	rng := rand.New(rand.NewPCG(seed, 77))
+	nodes := soc.Graph().Nodes()
+	var totalCalls, totalStitched int64
+	var totalSec float64
+	for i := 0; i < queries; i++ {
+		src := nodes[rng.IntN(len(nodes))]
+		tq := time.Now()
+		q := mt.Personalized(src)
+		totalSec += time.Since(tq).Seconds()
+		st := q.Stats()
+		totalCalls += st.StoreCalls
+		totalStitched += st.StitchedSegments
+		if st.StoreCalls > res.MaxStoreCalls {
+			res.MaxStoreCalls = st.StoreCalls
+		}
+		res.Theorem8Bound = st.Theorem8Bound
+	}
+	if queries > 0 {
+		res.MeanQueryMillis = totalSec / float64(queries) * 1e3
+		res.MeanStoreCalls = float64(totalCalls) / float64(queries)
+		res.MeanStitched = float64(totalStitched) / float64(queries)
 	}
 	return res
 }

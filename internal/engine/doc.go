@@ -1,0 +1,22 @@
+// Package engine drives the Monte Carlo walk machinery in parallel: it
+// generates the paper's R reset-walk segments per node with a worker pool
+// (full-store construction, the preprocessing step of Section 2.2) and
+// replays edge arrivals through the paper's incremental update rule
+// (Section 2.2's maintenance loop, the 1/d reroute coin of its Theorem 1
+// analysis), both against the sharded graph and the arena-backed walk
+// store.
+//
+// Design notes. Each worker owns a PCG random source (math/rand/v2), a
+// graph.Batcher, and a set of reusable path buffers, so the steady state
+// allocates nothing per segment. Segment generation runs as a lockstep
+// burst: up to Batch walkers advance together, one shard-grouped sampling
+// call per round, and finished bursts are flushed into the store through
+// AddBatch under a single lock acquisition. Edge updates stripe-lock on
+// SegmentID so two workers never reroute the same segment concurrently
+// while leaving unrelated segments fully parallel.
+//
+// The engine is the throughput-oriented, approximately-serialized replay
+// used by benchmarks; pagerank.Maintainer layers the exactly-serialized,
+// call-accounted update path with the W(v) fast path on top of the same
+// store.
+package engine

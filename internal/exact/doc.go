@@ -1,0 +1,27 @@
+// Package exact computes reference score vectors by deterministic power
+// iteration — the statistical ground truth every Monte Carlo component in
+// this repository is tested against. It has no counterpart in the paper's
+// system (the paper compares against exact PageRank computed offline, e.g.
+// Figure 2); here it is the oracle for the convergence tests.
+//
+// PageRank is dangling-aware in the same sense as the walk semantics used
+// everywhere else in this repository: a reset-walk that reaches a node with
+// no out-edges dies there (internal/walk truncates the segment). The visit
+// counts X_v the walk store accumulates therefore converge, after
+// normalization, to the *absorbing* visit distribution
+//
+//	pi ∝ sum_{t>=0} (1-eps)^t · u0 · P^t
+//
+// where u0 is uniform over the n walk sources and P is the row-substochastic
+// transition matrix (rows of dangling nodes are zero). On dangling-free
+// graphs this is the classical reset-walk PageRank of the paper's Section
+// 2.1: the unnormalized sum has total mass 1/eps and eps·sum recovers the
+// textbook vector.
+//
+// Salsa and SalsaPersonalized are the bipartite analogues (Sections 2.3 and
+// 5): they iterate the alternating forward/backward chain with the
+// asymmetric reset law (reset only before forward steps) and return the
+// authority- and hub-side visit distributions that walk.Salsa sampling, the
+// salsa.Maintainer's global counters, and the personalized query layer all
+// converge to.
+package exact

@@ -1,22 +1,3 @@
-// Package exact computes reference PageRank vectors by deterministic power
-// iteration — the statistical ground truth the Monte Carlo walk store is
-// tested against.
-//
-// The solver is dangling-aware in the same sense as the walk semantics used
-// everywhere else in this repository: a reset-walk that reaches a node with
-// no out-edges dies there (internal/walk truncates the segment). The visit
-// counts X_v the walk store accumulates therefore converge, after
-// normalization, to the *absorbing* visit distribution
-//
-//	pi ∝ sum_{t>=0} (1-eps)^t · u0 · P^t
-//
-// where u0 is uniform over the n walk sources and P is the row-substochastic
-// transition matrix (rows of dangling nodes are zero). On dangling-free
-// graphs this is the classical reset-walk PageRank: the unnormalized sum has
-// total mass 1/eps and eps·sum recovers the textbook vector. PageRank
-// computes exactly this law, so E[X_v / TotalVisits] matches it up to ratio
-// bias that vanishes with sample count — the property every statistical test
-// in internal/pagerank converges against.
 package exact
 
 import (

@@ -1,0 +1,191 @@
+package exact
+
+import (
+	"fastppr/internal/graph"
+)
+
+// salsaOracle snapshots the graph as index-based forward and backward
+// adjacency once, so the chain iteration never touches the sharded graph.
+type salsaOracle struct {
+	nodes []graph.NodeID
+	out   [][]int32
+	in    [][]int32
+}
+
+func newSalsaOracle(g *graph.Graph) *salsaOracle {
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		panic("exact: empty graph")
+	}
+	idx := make(map[graph.NodeID]int, n)
+	for i, v := range nodes {
+		idx[v] = i
+	}
+	o := &salsaOracle{nodes: nodes, out: make([][]int32, n), in: make([][]int32, n)}
+	for i, v := range nodes {
+		outs := g.OutNeighbors(v)
+		row := make([]int32, len(outs))
+		for j, w := range outs {
+			row[j] = int32(idx[w])
+		}
+		o.out[i] = row
+		ins := g.InNeighbors(v)
+		row = make([]int32, len(ins))
+		for j, w := range ins {
+			row[j] = int32(idx[w])
+		}
+		o.in[i] = row
+	}
+	return o
+}
+
+// run propagates an alternating eps-reset walk distribution started at init
+// with the given first step direction, accumulating expected visit counts
+// into authAcc (visits pending a backward step: the authority side) and
+// hubAcc (visits pending a forward step: the hub side). The walk resets with
+// probability eps before every forward step and dies at nodes lacking an
+// edge in the pending direction, exactly the law of walk.Salsa. Iteration
+// stops once the remaining expected visit mass drops below tol.
+func (o *salsaOracle) run(init []float64, firstForward bool, eps, tol float64, authAcc, hubAcc []float64) {
+	n := len(o.nodes)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	mass := 0.0
+	for i, x := range init {
+		cur[i] = x
+		mass += x
+	}
+	// Position 0: the source is hub-side when the pending step is forward,
+	// authority-side otherwise.
+	acc0 := hubAcc
+	if !firstForward {
+		acc0 = authAcc
+	}
+	for i := range cur {
+		acc0[i] += cur[i]
+	}
+	forward := firstForward
+	for mass > 0 {
+		// Future visits decay by (1-eps) per forward step: from a
+		// pending-forward state at most 2*mass*(1-eps)/eps visits remain;
+		// a pending-backward state adds at most mass visits first.
+		remaining := 2 * mass * (1 - eps) / eps
+		if !forward {
+			remaining += mass
+		}
+		if remaining <= tol {
+			break
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		mass = 0
+		if forward {
+			for i, row := range o.out {
+				if cur[i] == 0 || len(row) == 0 {
+					continue
+				}
+				w := (1 - eps) * cur[i] / float64(len(row))
+				for _, j := range row {
+					next[j] += w
+				}
+				mass += (1 - eps) * cur[i]
+			}
+			for i := range authAcc {
+				authAcc[i] += next[i]
+			}
+		} else {
+			for i, row := range o.in {
+				if cur[i] == 0 || len(row) == 0 {
+					continue
+				}
+				w := cur[i] / float64(len(row))
+				for _, j := range row {
+					next[j] += w
+				}
+				mass += cur[i]
+			}
+			for i := range hubAcc {
+				hubAcc[i] += next[i]
+			}
+		}
+		cur, next = next, cur
+		forward = !forward
+	}
+}
+
+// normalizeAcc turns a raw visit accumulator into a distribution over node
+// IDs. A zero accumulator (no visits on that side) yields all-zero scores.
+func (o *salsaOracle) normalizeAcc(acc []float64) map[graph.NodeID]float64 {
+	var total float64
+	for _, x := range acc {
+		total += x
+	}
+	scores := make(map[graph.NodeID]float64, len(o.nodes))
+	for i, v := range o.nodes {
+		if total > 0 {
+			scores[v] = acc[i] / total
+		} else {
+			scores[v] = 0
+		}
+	}
+	return scores
+}
+
+func checkSalsaArgs(eps, tol float64) {
+	if eps <= 0 || eps > 1 {
+		panic("exact: eps must be in (0, 1]")
+	}
+	if tol <= 0 {
+		panic("exact: tol must be positive")
+	}
+}
+
+// Salsa returns the global authority and hub visit distributions of
+// eps-reset alternating (SALSA) walks on g: every node starts equally many
+// hub-side (forward-first) and authority-side (backward-first) walks, the
+// mix the SALSA maintainer stores with R segments per node per side. auth is
+// the normalized distribution of visits pending a backward step, hub of
+// visits pending a forward step — the exact laws the maintainer's
+// AuthorityAll and HubAll estimates converge to.
+func Salsa(g *graph.Graph, eps, tol float64) (auth, hub map[graph.NodeID]float64) {
+	checkSalsaArgs(eps, tol)
+	o := newSalsaOracle(g)
+	n := len(o.nodes)
+	init := make([]float64, n)
+	for i := range init {
+		init[i] = 1 / float64(n)
+	}
+	authAcc := make([]float64, n)
+	hubAcc := make([]float64, n)
+	o.run(init, true, eps, tol, authAcc, hubAcc)
+	o.run(init, false, eps, tol, authAcc, hubAcc)
+	return o.normalizeAcc(authAcc), o.normalizeAcc(hubAcc)
+}
+
+// SalsaPersonalized returns the authority and hub visit distributions of
+// eps-reset alternating walks started at source (forward-first, the
+// personalized SALSA query law): the ground truth for
+// salsa.Maintainer.Personalized.
+func SalsaPersonalized(g *graph.Graph, source graph.NodeID, eps, tol float64) (auth, hub map[graph.NodeID]float64) {
+	checkSalsaArgs(eps, tol)
+	o := newSalsaOracle(g)
+	n := len(o.nodes)
+	init := make([]float64, n)
+	found := false
+	for i, v := range o.nodes {
+		if v == source {
+			init[i] = 1
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic("exact: source not in graph")
+	}
+	authAcc := make([]float64, n)
+	hubAcc := make([]float64, n)
+	o.run(init, true, eps, tol, authAcc, hubAcc)
+	return o.normalizeAcc(authAcc), o.normalizeAcc(hubAcc)
+}

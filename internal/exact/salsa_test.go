@@ -1,0 +1,131 @@
+package exact
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/walk"
+)
+
+// TestSalsaPersonalizedHandComputed pins the chain on the one-edge graph
+// {1 -> 2}: a forward-first walk from 1 alternates 1 -> 2 -> 1 -> 2 ...,
+// so every authority visit is at 2 and every hub visit at 1, for any eps.
+func TestSalsaPersonalizedHandComputed(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	for _, eps := range []float64{0.2, 0.5, 0.9} {
+		auth, hub := SalsaPersonalized(g, 1, eps, 1e-12)
+		if math.Abs(auth[2]-1) > 1e-9 || auth[1] != 0 {
+			t.Fatalf("eps=%v auth=%v want all mass on 2", eps, auth)
+		}
+		if math.Abs(hub[1]-1) > 1e-9 || hub[2] != 0 {
+			t.Fatalf("eps=%v hub=%v want all mass on 1", eps, hub)
+		}
+	}
+}
+
+// TestSalsaOracleMatchesMonteCarlo cross-checks the power-iteration chain
+// against direct walk.Salsa sampling on a power-law graph — the two
+// implementations share no code beyond the graph.
+func TestSalsaOracleMatchesMonteCarlo(t *testing.T) {
+	const n = 30
+	const eps = 0.3
+	samples := 200_000
+	if testing.Short() {
+		samples = 50_000
+	}
+	rng := rand.New(rand.NewPCG(3, 0))
+	g := gen.PreferentialAttachment(n, 3, rng)
+
+	authCounts := make(map[graph.NodeID]float64)
+	hubCounts := make(map[graph.NodeID]float64)
+	var authTotal, hubTotal float64
+	record := func(seg walk.SalsaSegment) {
+		for i := 0; i < seg.Len(); i++ {
+			if seg.DirectionAt(i) == walk.Backward {
+				authCounts[seg.Path[i]]++
+				authTotal++
+			} else {
+				hubCounts[seg.Path[i]]++
+				hubTotal++
+			}
+		}
+	}
+	for i := 0; i < samples; i++ {
+		src := graph.NodeID(i % n)
+		record(walk.Salsa(g, src, walk.Forward, eps, rng))
+		record(walk.Salsa(g, src, walk.Backward, eps, rng))
+	}
+	empAuth := make(map[graph.NodeID]float64, len(authCounts))
+	for v, c := range authCounts {
+		empAuth[v] = c / authTotal
+	}
+	empHub := make(map[graph.NodeID]float64, len(hubCounts))
+	for v, c := range hubCounts {
+		empHub[v] = c / hubTotal
+	}
+
+	auth, hub := Salsa(g, eps, 1e-12)
+	if d := L1(empAuth, auth); d > 0.05 {
+		t.Fatalf("authority L1(monte carlo, oracle)=%v", d)
+	}
+	if d := L1(empHub, hub); d > 0.05 {
+		t.Fatalf("hub L1(monte carlo, oracle)=%v", d)
+	}
+}
+
+// TestSalsaPersonalizedMatchesMonteCarlo does the same cross-check for the
+// source-seeded chain.
+func TestSalsaPersonalizedMatchesMonteCarlo(t *testing.T) {
+	const n = 30
+	const eps = 0.3
+	samples := 150_000
+	if testing.Short() {
+		samples = 40_000
+	}
+	rng := rand.New(rand.NewPCG(7, 0))
+	g := gen.PreferentialAttachment(n, 3, rng)
+	src := graph.NodeID(n - 1)
+
+	authCounts := make(map[graph.NodeID]float64)
+	var authTotal float64
+	for i := 0; i < samples; i++ {
+		seg := walk.Salsa(g, src, walk.Forward, eps, rng)
+		for j := 0; j < seg.Len(); j++ {
+			if seg.DirectionAt(j) == walk.Backward {
+				authCounts[seg.Path[j]]++
+				authTotal++
+			}
+		}
+	}
+	empAuth := make(map[graph.NodeID]float64, len(authCounts))
+	for v, c := range authCounts {
+		empAuth[v] = c / authTotal
+	}
+	auth, _ := SalsaPersonalized(g, src, eps, 1e-12)
+	if d := L1(empAuth, auth); d > 0.05 {
+		t.Fatalf("personalized authority L1(monte carlo, oracle)=%v", d)
+	}
+}
+
+// TestSalsaScoresAreDistributions checks normalization and support.
+func TestSalsaScoresAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 0))
+	g := gen.PreferentialAttachment(50, 4, rng)
+	auth, hub := Salsa(g, 0.2, 1e-12)
+	for name, scores := range map[string]map[graph.NodeID]float64{"auth": auth, "hub": hub} {
+		var sum float64
+		for v, s := range scores {
+			if s < 0 {
+				t.Fatalf("%s[%d]=%v negative", name, v, s)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s sums to %v", name, sum)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Package gen generates the synthetic workloads that stand in for the
+// paper's Twitter data: power-law directed graphs, edge-arrival streams
+// under the random-permutation and Dirichlet models (the arrival models of
+// the paper's Theorems 2-5 and Section 6's simulations), and the
+// adversarial gadget of the paper's Example 1 (the Omega(n) worst case for
+// a single edge arrival).
+//
+// The paper's analysis needs only the random-permutation arrival model (m
+// adversarially chosen edges arriving in random order) and, for the
+// personalized results, power-law score vectors. Preferential-attachment and
+// Chung–Lu graphs replayed in random order satisfy both, so every code path
+// the Twitter experiments exercised is exercised here; docs/DESIGN.md
+// records the substitution.
+package gen

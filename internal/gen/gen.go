@@ -1,14 +1,3 @@
-// Package gen generates the synthetic workloads that stand in for the
-// paper's Twitter data: power-law directed graphs, edge-arrival streams
-// under the random-permutation and Dirichlet models, and the adversarial
-// gadget of Example 1.
-//
-// The paper's analysis needs only the random-permutation arrival model (m
-// adversarially chosen edges arriving in random order) and, for the
-// personalized results, power-law score vectors. Preferential-attachment and
-// Chung–Lu graphs replayed in random order satisfy both, so every code path
-// the Twitter experiments exercised is exercised here; DESIGN.md §3 records
-// the substitution.
 package gen
 
 import (

@@ -1,0 +1,20 @@
+// Package graph provides a dynamic directed multigraph with O(1) random
+// neighbor sampling — the substrate every random-walk component in this
+// reproduction of Bahmani, Chowdhury & Goel, "Fast Incremental and
+// Personalized PageRank" (PVLDB 2010) stands on. It plays the role of the
+// social graph G = (V, E) of the paper's Section 2, with the random
+// out-neighbor (and, for SALSA, in-neighbor) access the Monte Carlo walkers
+// of Sections 2.1-2.3 perform billions of times.
+//
+// The graph supports concurrent readers and writers. Node IDs are opaque
+// 64-bit integers, matching the ID space of a large social network.
+// Adjacency is stored as append-only slices with swap-delete removal, so a
+// uniformly random neighbor is a single slice index.
+//
+// To keep that hot path scalable the adjacency tables are hash-partitioned
+// by NodeID into a power-of-two number of lock-striped shards: walkers whose
+// current nodes land on different shards never contend, and a Batcher
+// amortizes even the uncontended lock acquisition over a whole burst of
+// lockstep walkers. Operations that need a consistent global view (Edges,
+// Clone, Validate, RandomEdge) lock every shard in index order.
+package graph

@@ -1,19 +1,3 @@
-// Package graph provides a dynamic directed graph with O(1) random
-// out-neighbor sampling, the substrate underneath every random-walk
-// component in this repository.
-//
-// The graph supports concurrent readers and writers. Node IDs are opaque
-// 64-bit integers, matching the ID space of a large social network.
-// Adjacency is stored as append-only slices with swap-delete removal, so a
-// uniformly random out-neighbor is a single slice index — the operation the
-// Monte Carlo walkers perform billions of times.
-//
-// To keep that hot path scalable the adjacency tables are hash-partitioned
-// by NodeID into a power-of-two number of lock-striped shards: walkers whose
-// current nodes land on different shards never contend, and a Batcher
-// amortizes even the uncontended lock acquisition over a whole burst of
-// lockstep walkers. Operations that need a consistent global view (Edges,
-// Clone, Validate, RandomEdge) lock every shard in index order.
 package graph
 
 import (

@@ -1,0 +1,32 @@
+// Package pagerank turns the walk machinery into the paper's actual system:
+// an incremental PageRank maintainer that owns a walk store of R reset-walk
+// segments per node, serves estimates out of the store's visit counters
+// (Section 2.1's ~pi_v = eps X_v / (nR) estimator), and consumes an edge
+// stream while keeping the stored walks distributed exactly as if they had
+// been freshly sampled on the current graph (Section 2.2's maintenance
+// loop; the expected-update-cost analysis is the paper's Theorems 2-5 under
+// the random-permutation and Dirichlet arrival models).
+//
+// The headline cost saving is the W(v)-probability fast path. An arriving
+// edge (u, v) raises u's out-degree to d, and a stored walk step leaving u
+// must be redirected through the new edge with probability 1/d. With K
+// stored outgoing steps at u, *some* redirection is needed only with
+// probability 1-(1-1/d)^K — so the maintainer flips one coin against cheap
+// store counters and, on tails, skips the arrival without fetching a single
+// segment. The paper states the bound with W(u), the number of distinct
+// segments through u; this implementation uses the exact candidate count
+// K = X_u - T(u) (walkstore.Candidates), which the store tracks alongside
+// W(u) and which makes the skip lossless even when a segment revisits u or
+// ends there. On heads, the segment fetch is not followed by a second round
+// of naive coin flips: the reroute positions are sampled *conditioned on at
+// least one reroute* (truncated-geometric first success, independent flips
+// after), so estimates with the fast path enabled are drawn from exactly the
+// same distribution as with it disabled, and every non-skipped arrival
+// performs real work.
+//
+// All graph access on the update path — the edge write, the degree lookup,
+// and every step of regenerated walk tails — is routed through
+// socialstore.Store, so the call accounting the paper's cost analysis is
+// stated in falls out of Metrics(); per-arrival work beyond that is visible
+// in Counters().
+package pagerank

@@ -1,32 +1,3 @@
-// Package pagerank turns the walk machinery into the paper's actual system:
-// an incremental PageRank maintainer that owns a walk store of R reset-walk
-// segments per node, serves estimates out of the store's visit counters, and
-// consumes an edge stream while keeping the stored walks distributed exactly
-// as if they had been freshly sampled on the current graph (Section 2.2's
-// maintenance loop).
-//
-// The headline cost saving is the W(v)-probability fast path. An arriving
-// edge (u, v) raises u's out-degree to d, and a stored walk step leaving u
-// must be redirected through the new edge with probability 1/d. With K
-// stored outgoing steps at u, *some* redirection is needed only with
-// probability 1-(1-1/d)^K — so the maintainer flips one coin against cheap
-// store counters and, on tails, skips the arrival without fetching a single
-// segment. The paper states the bound with W(u), the number of distinct
-// segments through u; this implementation uses the exact candidate count
-// K = X_u - T(u) (walkstore.Candidates), which the store tracks alongside
-// W(u) and which makes the skip lossless even when a segment revisits u or
-// ends there. On heads, the segment fetch is not followed by a second round
-// of naive coin flips: the reroute positions are sampled *conditioned on at
-// least one reroute* (truncated-geometric first success, independent flips
-// after), so estimates with the fast path enabled are drawn from exactly the
-// same distribution as with it disabled, and every non-skipped arrival
-// performs real work.
-//
-// All graph access on the update path — the edge write, the degree lookup,
-// and every step of regenerated walk tails — is routed through
-// socialstore.Store, so the call accounting the paper's cost analysis is
-// stated in falls out of Metrics(); per-arrival work beyond that is visible
-// in Counters().
 package pagerank
 
 import (
@@ -39,6 +10,7 @@ import (
 	"fastppr/internal/engine"
 	"fastppr/internal/graph"
 	"fastppr/internal/socialstore"
+	"fastppr/internal/stats"
 	"fastppr/internal/topk"
 	"fastppr/internal/walk"
 	"fastppr/internal/walkstore"
@@ -201,7 +173,7 @@ func (m *Maintainer) rerouteLocked(u, v graph.NodeID, d int) {
 			m.c.FastSkips++
 			return
 		}
-		first = truncatedGeometric(m.rng, inv, k)
+		first = stats.TruncatedGeometric(m.rng, inv, k)
 	}
 	m.c.SlowPaths++
 	rerouted := int64(0)
@@ -266,7 +238,7 @@ func (m *Maintainer) reviveLocked(u, v graph.NodeID) {
 			m.c.FastSkips++
 			return
 		}
-		first = truncatedGeometric(m.rng, 1-eps, t)
+		first = stats.TruncatedGeometric(m.rng, 1-eps, t)
 	}
 	m.c.SlowPaths++
 	revived := int64(0)
@@ -334,22 +306,6 @@ func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID 
 	ids := m.walks.Visitors(u)
 	slices.Sort(ids)
 	return ids
-}
-
-// truncatedGeometric samples the index of the first success among k
-// independent Bernoulli(p) trials, conditioned on at least one success:
-// P(J = j) = (1-p)^j p / (1-(1-p)^k) for j in [0, k).
-func truncatedGeometric(rng *rand.Rand, p float64, k int64) int64 {
-	q := 1 - p
-	u := rng.Float64()
-	j := int64(math.Log(1-u*(1-math.Pow(q, float64(k)))) / math.Log(q))
-	if j < 0 {
-		j = 0
-	}
-	if j >= k {
-		j = k - 1
-	}
-	return j
 }
 
 // Estimate returns the PageRank estimate of v: X_v / TotalVisits, the

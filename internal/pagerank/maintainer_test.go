@@ -367,7 +367,7 @@ func TestTruncatedGeometricLaw(t *testing.T) {
 	}
 	counts := make([]int, k)
 	for i := 0; i < trials; i++ {
-		counts[truncatedGeometric(rng, p, k)]++
+		counts[stats.TruncatedGeometric(rng, p, k)]++
 	}
 	norm := 1 - math.Pow(1-p, float64(k))
 	for j := int64(0); j < k; j++ {

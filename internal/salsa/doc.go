@@ -1,0 +1,54 @@
+// Package salsa implements the paper's personalized second half (Sections
+// 2.3, 4, and 5): an incremental SALSA maintainer over the same walk-segment
+// store and Social Store as the PageRank maintainer, plus the personalized
+// query layer whose round-trip cost Theorem 8 bounds.
+//
+// # Stored state
+//
+// Every node owns 2R alternating eps-reset walk segments (walk.Salsa): R
+// starting with a forward step (the node acting as a hub) and R starting
+// backward (the node acting as an authority). Segments live in a
+// walkstore.Store with a per-segment side tag; because alternation is strict,
+// a visit's pending step direction is its side XOR its position parity, and
+// the store indexes visits by that pending direction. Visits pending a
+// backward step ARE the authority-side visits, visits pending a forward step
+// the hub-side ones, so the global SALSA score estimates — AuthorityAll,
+// HubAll — are two counter-table reads, exactly like the PageRank
+// maintainer's X_v/TotalVisits estimator.
+//
+// # Incremental maintenance
+//
+// An arriving edge (u, v) perturbs stored walks in two independent ways,
+// each the paper's Section 2.2 reroute rule transplanted to one side of the
+// bipartite alternation:
+//
+//   - forward phase: u's out-degree rose to d, so every stored forward step
+//     from u switches to the new edge with probability 1/d (first out-edge:
+//     forward-pending terminals at u revive with probability 1-eps);
+//   - backward phase: v's in-degree rose to d', so every stored backward
+//     step from v switches to u with probability 1/d' (first in-edge:
+//     backward-pending terminals at v revive with probability 1 — there is
+//     no reset coin before a backward step).
+//
+// A switched or revived segment keeps its prefix and regrows an alternating
+// tail through the call-accounted Social Store (walk.AppendContinueSalsa).
+// Both phases use the PageRank maintainer's lossless fast path: one coin
+// against (1-1/d)^k with the exact sided candidate count k decides whether
+// anything changes, and on heads the first switch position is drawn
+// truncated-geometrically, so the fast path never alters the estimate
+// distribution and SlowNoops == 0 is an invariant. The backward phase
+// excludes positions the forward phase just regenerated — those steps were
+// sampled on the graph that already contains the new edge.
+//
+// # Personalized queries
+//
+// Personalized(source) runs QueryWalks alternating walks from the source,
+// splicing stored segments: a walk at node w pending direction dir consumes
+// one of w's unused stored dir-side segments and — by memorylessness of the
+// reset law — finishes right there, for zero round trips; only when w's
+// segments are exhausted does it take bare single steps through
+// socialstore. Each stored segment is used at most once per query, keeping
+// the walks independent. The measured store calls per query are reported in
+// QueryStats next to the Theorem8Bound accounting ceiling, and tests assert
+// measured <= bound.
+package salsa

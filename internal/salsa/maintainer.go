@@ -1,0 +1,555 @@
+package salsa
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/socialstore"
+	"fastppr/internal/stats"
+	"fastppr/internal/topk"
+	"fastppr/internal/walk"
+	"fastppr/internal/walkstore"
+)
+
+// Config parameterizes a Maintainer.
+type Config struct {
+	// Eps is the reset probability flipped before every forward step, in
+	// (0, 1]. Expected segment length is 1 + 2(1-Eps)/Eps nodes.
+	Eps float64
+	// R is the number of stored segments per node per side (the paper's R):
+	// every node owns R forward-first (hub-start) and R backward-first
+	// (authority-start) walks.
+	R int
+	// Workers sizes the Bootstrap worker pool; 0 means GOMAXPROCS. The
+	// incremental update path and queries are serialized.
+	Workers int
+	// Seed seeds bootstrap walk generation and the update/query RNG. Walk
+	// contents are chunk-deterministic for any worker count; with Workers=1
+	// a run is fully reproducible including segment IDs.
+	Seed uint64
+	// QueryWalks is the number of Monte Carlo walks a personalized query
+	// runs; 0 means 1024.
+	QueryWalks int
+	// DisableFastPath turns the skip coins off: every arrival fetches the
+	// affected segments and flips per-step coins unconditionally. Estimates
+	// are drawn from the same distribution either way.
+	DisableFastPath bool
+}
+
+func (c Config) queryWalks() int {
+	if c.QueryWalks <= 0 {
+		return 1024
+	}
+	return c.QueryWalks
+}
+
+// Counters is a snapshot of the maintainer's update-path accounting. An
+// arrival runs two repair phases (forward steps of the edge's source,
+// backward steps of its target), so FastSkips+EmptySkips+SlowPaths sums to
+// 2*Arrivals.
+type Counters struct {
+	Arrivals   int64 // edges consumed
+	FastSkips  int64 // repair phases dismissed by a skip coin alone
+	EmptySkips int64 // repair phases with no stored step to perturb
+	SlowPaths  int64 // repair phases that fetched segments from the store
+	SlowNoops  int64 // slow paths that sampled no reroute (0 while the fast path is on)
+	Rerouted   int64 // segments redirected through a new edge mid-path
+	Revived    int64 // segments extended past a terminal that gained its needed edge
+	Seeded     int64 // segments generated for nodes first seen mid-stream
+	StepsIn    int64 // visits added by reroutes, revivals, and seeding
+	StepsOut   int64 // visits removed by reroutes
+	Queries    int64 // personalized queries served
+}
+
+// SkipRate returns the fraction of repair phases the fast path skipped
+// outright.
+func (c Counters) SkipRate() float64 {
+	if c.Arrivals == 0 {
+		return 0
+	}
+	return float64(c.FastSkips) / float64(2*c.Arrivals)
+}
+
+// Maintainer keeps R alternating walk segments per node per side fresh under
+// an edge stream and serves global and personalized SALSA scores from them.
+// Global reads may run concurrently with updates; updates and personalized
+// queries are serialized.
+type Maintainer struct {
+	soc   *socialstore.Store
+	walks *walkstore.Store
+	cfg   Config
+
+	mu      sync.Mutex // serializes updates and queries; guards rng, known, c
+	rng     *rand.Rand
+	known   map[graph.NodeID]bool // nodes owning their 2R segments
+	c       Counters
+	tailBuf []graph.NodeID
+	// touched records, per arrival, the segments whose tail this arrival
+	// already regenerated (id -> first fresh path position). The backward
+	// repair phase must not flip coins on freshly sampled steps: they were
+	// drawn on the graph that already contains the new edge.
+	touched map[walkstore.SegmentID]int
+}
+
+// New returns a maintainer over the social store's graph with an empty walk
+// store. Call Bootstrap once to seed 2R segments per existing node before
+// streaming edges.
+func New(soc *socialstore.Store, cfg Config) *Maintainer {
+	if cfg.Eps <= 0 || cfg.Eps > 1 {
+		panic("salsa: Eps must be in (0, 1]")
+	}
+	if cfg.R <= 0 {
+		cfg.R = 1
+	}
+	return &Maintainer{
+		soc:     soc,
+		walks:   walkstore.New(),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x5a15a)),
+		known:   make(map[graph.NodeID]bool),
+		touched: make(map[walkstore.SegmentID]int),
+	}
+}
+
+// Store returns the maintainer's walk store.
+func (m *Maintainer) Store() *walkstore.Store { return m.walks }
+
+// Social returns the call-accounted graph store.
+func (m *Maintainer) Social() *socialstore.Store { return m.soc }
+
+// Bootstrap generates R forward-first and R backward-first segments for
+// every node currently in the graph and marks those nodes as owned. It
+// returns the number of walk steps stored. Like the PageRank bootstrap this
+// is the offline preprocessing pass: it walks the graph directly and is not
+// call-accounted. Nodes are claimed in fixed-size chunks, each walked with
+// its own PCG(Seed, chunkIndex) source, so the generated paths are identical
+// for any worker count. Call it exactly once, before the first ApplyEdge.
+func (m *Maintainer) Bootstrap() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.soc.Graph()
+	nodes := g.Nodes()
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const chunk = 256
+	var cursor, steps atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var pathsF, pathsB [][]graph.NodeID
+			var local int64
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(nodes) {
+					break
+				}
+				hi := min(lo+chunk, len(nodes))
+				rng := rand.New(rand.NewPCG(m.cfg.Seed, uint64(lo/chunk)))
+				pathsF, pathsB = pathsF[:0], pathsB[:0]
+				for _, v := range nodes[lo:hi] {
+					for i := 0; i < m.cfg.R; i++ {
+						seg := walk.Salsa(g, v, walk.Forward, m.cfg.Eps, rng)
+						pathsF = append(pathsF, seg.Path)
+						local += int64(len(seg.Path))
+					}
+					for i := 0; i < m.cfg.R; i++ {
+						seg := walk.Salsa(g, v, walk.Backward, m.cfg.Eps, rng)
+						pathsB = append(pathsB, seg.Path)
+						local += int64(len(seg.Path))
+					}
+				}
+				m.walks.AddBatchSided(pathsF, walkstore.SideForward)
+				m.walks.AddBatchSided(pathsB, walkstore.SideBackward)
+			}
+			steps.Add(local)
+		}()
+	}
+	wg.Wait()
+	for _, v := range nodes {
+		m.known[v] = true
+	}
+	return steps.Load()
+}
+
+// ApplyEdge consumes one edge arrival: it writes the edge through the social
+// store, repairs the stored walks whose forward steps leave the source or
+// whose backward steps leave the target (the paper's reroute rule adapted to
+// bipartite alternation), and seeds 2R fresh segments for any endpoint seen
+// for the first time.
+func (m *Maintainer) ApplyEdge(ed graph.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applyLocked(ed)
+}
+
+// ApplyEdges consumes a stream of arrivals in order.
+func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ed := range edges {
+		m.applyLocked(ed)
+	}
+}
+
+func (m *Maintainer) applyLocked(ed graph.Edge) {
+	m.c.Arrivals++
+	u, v := ed.From, ed.To
+	m.soc.AddEdge(u, v)
+	dout := m.soc.OutDegree(u)
+	din := m.soc.InDegree(v)
+	clear(m.touched)
+	// Forward phase: stored forward steps from u now have a d-th choice.
+	if dout == 1 {
+		m.reviveForwardLocked(u, v)
+	} else {
+		m.rerouteForwardLocked(u, v, dout)
+	}
+	// Backward phase: stored backward steps from v now have a d-th choice.
+	// Runs after the forward phase so it can exclude the positions that
+	// phase just regenerated (they already sampled the new edge).
+	if din == 1 {
+		m.reviveBackwardLocked(v, u)
+	} else {
+		m.rerouteBackwardLocked(v, u, din)
+	}
+	// Seed new endpoints last: freshly seeded walks already sample the new
+	// edge, so repairing them too would over-weight it.
+	m.ensureNodeLocked(u)
+	m.ensureNodeLocked(v)
+}
+
+// rerouteForwardLocked repairs stored walks after u's out-degree rose to
+// d >= 2: every stored forward step from u independently switches to the new
+// edge with probability 1/d; a switched segment keeps its prefix, steps to
+// v, and continues with a fresh alternating tail (backward next).
+func (m *Maintainer) rerouteForwardLocked(u, v graph.NodeID, d int) {
+	k := m.walks.PendingCandidates(u, walkstore.SideForward)
+	if k == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	inv := 1.0 / float64(d)
+	// first is the global index (over the fixed enumeration of all k
+	// candidate steps) of the first switch, pre-sampled when the skip coin
+	// came up heads; -1 means flip every candidate unconditionally.
+	first := int64(-1)
+	if !m.cfg.DisableFastPath {
+		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.c.FastSkips++
+			return
+		}
+		first = stats.TruncatedGeometric(m.rng, inv, k)
+	}
+	m.c.SlowPaths++
+	rerouted := int64(0)
+	idx := int64(0)
+	for _, id := range m.sortedVisitorsLocked(u) {
+		side := m.walks.SideOf(id)
+		p := m.walks.Path(id) // stable: ReplaceTail relocates, never mutates
+		pos := -1
+		for i := 0; i < len(p)-1 && pos < 0; i++ {
+			if p[i] != u || side.PendingAt(i) != walkstore.SideForward {
+				continue
+			}
+			if m.candidateHit(first, idx, inv) {
+				pos = i
+			}
+			idx++
+		}
+		if pos < 0 {
+			continue
+		}
+		// The segment's remaining candidates are superseded by the reroute,
+		// but they still occupy slots in the enumeration `first` was drawn
+		// over.
+		for i := pos + 1; i < len(p)-1; i++ {
+			if p[i] == u && side.PendingAt(i) == walkstore.SideForward {
+				idx++
+			}
+		}
+		m.redirectLocked(id, pos+1, v, walk.Backward)
+		m.touched[id] = pos + 1
+		rerouted++
+	}
+	m.c.Rerouted += rerouted
+	if rerouted == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// reviveForwardLocked repairs stored walks after u gained its very first
+// out-edge. While u had no out-edges every walk pausing there before a
+// forward step ended — by the reset coin with probability eps, by the
+// missing edge otherwise — so each stored forward-pending terminal at u now
+// continues with probability 1-eps, necessarily through the new edge.
+func (m *Maintainer) reviveForwardLocked(u, v graph.NodeID) {
+	t := m.walks.PendingTerminals(u, walkstore.SideForward)
+	if t == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	eps := m.cfg.Eps
+	first := int64(-1)
+	if !m.cfg.DisableFastPath {
+		if m.rng.Float64() < math.Pow(eps, float64(t)) {
+			m.c.FastSkips++
+			return
+		}
+		first = stats.TruncatedGeometric(m.rng, 1-eps, t)
+	}
+	m.c.SlowPaths++
+	revived := int64(0)
+	idx := int64(0)
+	for _, id := range m.sortedVisitorsLocked(u) {
+		side := m.walks.SideOf(id)
+		p := m.walks.Path(id)
+		last := len(p) - 1
+		if p[last] != u || side.PendingAt(last) != walkstore.SideForward {
+			continue
+		}
+		cont := m.candidateHit(first, idx, 1-eps)
+		idx++
+		if !cont {
+			continue
+		}
+		m.redirectLocked(id, len(p), v, walk.Backward)
+		m.touched[id] = len(p)
+		revived++
+	}
+	m.c.Revived += revived
+	if revived == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// rerouteBackwardLocked repairs stored walks after v's in-degree rose to
+// d >= 2: every stored backward step from v independently switches to the
+// new in-neighbor u with probability 1/d. Only steps stored before this
+// arrival participate: positions the forward phase just regenerated were
+// sampled on the new graph and are excluded from both the skip-coin exponent
+// and the scan.
+func (m *Maintainer) rerouteBackwardLocked(v, u graph.NodeID, d int) {
+	k := m.walks.PendingCandidates(v, walkstore.SideBackward)
+	for id, keep := range m.touched {
+		side := m.walks.SideOf(id)
+		p := m.walks.Path(id)
+		for i := keep; i < len(p)-1; i++ {
+			if p[i] == v && side.PendingAt(i) == walkstore.SideBackward {
+				k--
+			}
+		}
+	}
+	if k == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	inv := 1.0 / float64(d)
+	first := int64(-1)
+	if !m.cfg.DisableFastPath {
+		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.c.FastSkips++
+			return
+		}
+		first = stats.TruncatedGeometric(m.rng, inv, k)
+	}
+	m.c.SlowPaths++
+	rerouted := int64(0)
+	idx := int64(0)
+	for _, id := range m.sortedVisitorsLocked(v) {
+		side := m.walks.SideOf(id)
+		p := m.walks.Path(id)
+		end := len(p) - 1 // candidates are non-terminal visits
+		if keep, ok := m.touched[id]; ok && keep < end {
+			end = keep // positions >= keep are fresh
+		}
+		pos := -1
+		for i := 0; i < end && pos < 0; i++ {
+			if p[i] != v || side.PendingAt(i) != walkstore.SideBackward {
+				continue
+			}
+			if m.candidateHit(first, idx, inv) {
+				pos = i
+			}
+			idx++
+		}
+		if pos < 0 {
+			continue
+		}
+		for i := pos + 1; i < end; i++ {
+			if p[i] == v && side.PendingAt(i) == walkstore.SideBackward {
+				idx++
+			}
+		}
+		m.redirectLocked(id, pos+1, u, walk.Forward)
+		rerouted++
+	}
+	m.c.Rerouted += rerouted
+	if rerouted == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// reviveBackwardLocked repairs stored walks after v gained its very first
+// in-edge. A walk pauses before a backward step with no reset coin, so while
+// v had no in-edges every such walk died there deterministically — and now
+// every one of them continues, necessarily to u, with probability 1: the
+// backward analogue of revival has no coin to flip.
+func (m *Maintainer) reviveBackwardLocked(v, u graph.NodeID) {
+	t := m.walks.PendingTerminals(v, walkstore.SideBackward)
+	if t == 0 {
+		m.c.EmptySkips++
+		return
+	}
+	m.c.SlowPaths++
+	revived := int64(0)
+	for _, id := range m.sortedVisitorsLocked(v) {
+		side := m.walks.SideOf(id)
+		p := m.walks.Path(id)
+		last := len(p) - 1
+		if p[last] != v || side.PendingAt(last) != walkstore.SideBackward {
+			continue
+		}
+		// A tail regenerated this arrival cannot end backward-pending at v
+		// (v already has the new in-edge), so this guard is unreachable; it
+		// keeps the phase safe against double-sampling regardless.
+		if keep, ok := m.touched[id]; ok && last >= keep {
+			continue
+		}
+		m.redirectLocked(id, len(p), u, walk.Forward)
+		revived++
+	}
+	m.c.Revived += revived
+	if revived == 0 {
+		m.c.SlowNoops++
+	}
+}
+
+// candidateHit decides whether the idx-th enumerated candidate switches,
+// given the pre-sampled first-success index (or -1 for unconditional flips
+// with the fast path disabled).
+func (m *Maintainer) candidateHit(first, idx int64, p float64) bool {
+	switch {
+	case first < 0:
+		return m.rng.Float64() < p
+	case idx < first:
+		return false
+	case idx == first:
+		return true
+	default:
+		return m.rng.Float64() < p
+	}
+}
+
+// redirectLocked truncates segment id to keep nodes, steps it to `to`, and
+// extends it with a fresh alternating tail whose next step has direction
+// nextDir, sampled through the social store. Parity is preserved: position
+// keep's pending direction is automatically nextDir.
+func (m *Maintainer) redirectLocked(id walkstore.SegmentID, keep int, to graph.NodeID, nextDir walk.Direction) {
+	m.tailBuf = append(m.tailBuf[:0], to)
+	m.tailBuf = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, m.rng, m.tailBuf)
+	removed, added := m.walks.ReplaceTail(id, keep, m.tailBuf)
+	m.c.StepsOut += int64(removed)
+	m.c.StepsIn += int64(added)
+}
+
+// ensureNodeLocked seeds R segments per side for a node first seen
+// mid-stream, preserving the invariant that every known node owns 2R walks.
+func (m *Maintainer) ensureNodeLocked(v graph.NodeID) {
+	if m.known[v] {
+		return
+	}
+	m.known[v] = true
+	pathsF := make([][]graph.NodeID, m.cfg.R)
+	pathsB := make([][]graph.NodeID, m.cfg.R)
+	for i := 0; i < m.cfg.R; i++ {
+		segF := walk.Salsa(m.soc, v, walk.Forward, m.cfg.Eps, m.rng)
+		pathsF[i] = segF.Path
+		segB := walk.Salsa(m.soc, v, walk.Backward, m.cfg.Eps, m.rng)
+		pathsB[i] = segB.Path
+		m.c.StepsIn += int64(len(segF.Path) + len(segB.Path))
+	}
+	m.walks.AddBatchSided(pathsF, walkstore.SideForward)
+	m.walks.AddBatchSided(pathsB, walkstore.SideBackward)
+	m.c.Seeded += int64(2 * m.cfg.R)
+}
+
+// sortedVisitorsLocked returns the segments visiting u in ascending ID
+// order, making a fixed-seed run reproducible regardless of the visitor
+// set's internal representation.
+func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID {
+	ids := m.walks.Visitors(u)
+	slices.Sort(ids)
+	return ids
+}
+
+// AuthorityEstimate returns v's global authority score: the fraction of all
+// stored authority-side visits (visits pending a backward step) that land on
+// v. Safe to call concurrently with updates; numerator and denominator are
+// read under one store lock.
+func (m *Maintainer) AuthorityEstimate(v graph.NodeID) float64 {
+	m.soc.CountFetch()
+	visits, total := m.walks.PendingVisitFraction(v, walkstore.SideBackward)
+	if total == 0 {
+		return 0
+	}
+	return float64(visits) / float64(total)
+}
+
+// HubEstimate returns v's global hub score: the fraction of all stored
+// hub-side visits (visits pending a forward step) that land on v.
+func (m *Maintainer) HubEstimate(v graph.NodeID) float64 {
+	m.soc.CountFetch()
+	visits, total := m.walks.PendingVisitFraction(v, walkstore.SideForward)
+	if total == 0 {
+		return 0
+	}
+	return float64(visits) / float64(total)
+}
+
+// AuthorityAll returns the full global authority score vector as one
+// consistent snapshot. Nodes with no authority-side visits are absent.
+func (m *Maintainer) AuthorityAll() map[graph.NodeID]float64 {
+	m.soc.CountFetch()
+	return normalizedCounts(m.walks.PendingVisitCounts(walkstore.SideBackward))
+}
+
+// HubAll returns the full global hub score vector as one consistent
+// snapshot. Nodes with no hub-side visits are absent.
+func (m *Maintainer) HubAll() map[graph.NodeID]float64 {
+	m.soc.CountFetch()
+	return normalizedCounts(m.walks.PendingVisitCounts(walkstore.SideForward))
+}
+
+// TopKAuthorities returns the k highest global authority scores, descending,
+// ties toward lower IDs.
+func (m *Maintainer) TopKAuthorities(k int) []topk.Item {
+	return topk.TopK(m.AuthorityAll(), k)
+}
+
+func normalizedCounts(counts map[graph.NodeID]int64, total int64) map[graph.NodeID]float64 {
+	scores := make(map[graph.NodeID]float64, len(counts))
+	if total == 0 {
+		return scores
+	}
+	for v, x := range counts {
+		scores[v] = float64(x) / float64(total)
+	}
+	return scores
+}
+
+// Counters returns a snapshot of the update-path accounting.
+func (m *Maintainer) Counters() Counters {
+	m.mu.Lock()
+	c := m.c
+	m.mu.Unlock()
+	return c
+}

@@ -1,0 +1,219 @@
+package salsa
+
+import (
+	"fastppr/internal/graph"
+	"fastppr/internal/topk"
+	"fastppr/internal/walk"
+	"fastppr/internal/walkstore"
+)
+
+// QueryStats is the per-query cost accounting the paper's Theorem 8 is
+// about: how many Social Store round trips one personalized query needed.
+type QueryStats struct {
+	Source graph.NodeID
+	// Walks is the number of Monte Carlo walks the query ran (Config.QueryWalks).
+	Walks int
+	// Steps is the total number of walk steps taken, stitched or bare.
+	Steps int64
+	// StitchedSegments counts the stored segments spliced into query walks;
+	// StitchedSteps the steps those splices covered for free.
+	StitchedSegments int64
+	StitchedSteps    int64
+	// BareSteps counts the alternating steps attempted through the Social
+	// Store, one read call each (including the final probe of a walk that
+	// dies at a node with no edge in the pending direction).
+	BareSteps int64
+	// StoreCalls is the measured Social Store read count across the query,
+	// taken from counter snapshots; it equals BareSteps by construction, and
+	// tests assert the two never drift.
+	StoreCalls int64
+	// Theorem8Bound is the accounting-model ceiling on the expected store
+	// calls for this query: max(0, Walks - storedSegments(source)) walks
+	// start without a stored segment, and each costs at most its full
+	// expected length 2(1-eps)/eps in store calls. Stitching typically lands
+	// far below it; see Theorem8Bound.
+	Theorem8Bound float64
+}
+
+// Query holds the outcome of one personalized SALSA query: empirical
+// authority- and hub-side visit distributions of QueryWalks alternating
+// eps-reset walks from the source, plus the store-call accounting.
+type Query struct {
+	auth      map[graph.NodeID]int64
+	hub       map[graph.NodeID]int64
+	authTotal int64
+	hubTotal  int64
+	stats     QueryStats
+}
+
+// Stats returns the query's cost accounting.
+func (q *Query) Stats() QueryStats { return q.stats }
+
+// Authority returns the personalized authority score of v relative to the
+// query source: the fraction of authority-side visits that landed on v.
+func (q *Query) Authority(v graph.NodeID) float64 {
+	if q.authTotal == 0 {
+		return 0
+	}
+	return float64(q.auth[v]) / float64(q.authTotal)
+}
+
+// Hub returns the personalized hub score of v relative to the query source.
+func (q *Query) Hub(v graph.NodeID) float64 {
+	if q.hubTotal == 0 {
+		return 0
+	}
+	return float64(q.hub[v]) / float64(q.hubTotal)
+}
+
+// AuthorityAll returns the full personalized authority distribution. Nodes
+// never visited on the authority side are absent.
+func (q *Query) AuthorityAll() map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(q.auth))
+	if q.authTotal == 0 {
+		return out
+	}
+	for v, x := range q.auth {
+		out[v] = float64(x) / float64(q.authTotal)
+	}
+	return out
+}
+
+// TopK returns the k highest personalized authority scores, descending,
+// ties toward lower IDs.
+func (q *Query) TopK(k int) []topk.Item {
+	return topk.TopK(q.AuthorityAll(), k)
+}
+
+// Theorem8Bound is the query layer's accounting model for the paper's
+// Theorem 8: with `stored` unused stored segments at the source, only the
+// walks beyond them ever touch the Social Store, and a walk's store calls
+// are bounded by its attempted steps, 2(1-eps)/eps in expectation. The
+// returned value therefore bounds the expected store calls of a q-walk
+// query; the measured count sits far below it because bare walks stitch
+// back onto stored segments after a step or two.
+func Theorem8Bound(q, stored int, eps float64) float64 {
+	bare := q - stored
+	if bare < 0 {
+		bare = 0
+	}
+	return float64(bare) * 2 * (1 - eps) / eps
+}
+
+// sideKey addresses the per-query stitching cursor: stored segments of one
+// node usable when the pending step has one direction.
+type sideKey struct {
+	v graph.NodeID
+	d walkstore.Side
+}
+
+// Personalized runs a personalized SALSA query from source: QueryWalks
+// alternating eps-reset walks, starting forward (source on the hub side).
+// Each walk greedily splices a stored, not-yet-used segment of its current
+// node — by memorylessness the splice finishes the walk exactly as fresh
+// sampling would — and only when the current node's segments are exhausted
+// does it take single steps through the call-accounted Social Store. Every
+// stored segment is used at most once per query, so the q walks stay
+// independent. Queries are serialized with updates.
+func (m *Maintainer) Personalized(source graph.NodeID) *Query {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.personalizedLocked(source)
+}
+
+// PersonalizedTopK returns the k best personalized authorities for source —
+// the paper's "top-k personalized page ranks" served online from the
+// maintained store.
+func (m *Maintainer) PersonalizedTopK(source graph.NodeID, k int) []topk.Item {
+	return m.Personalized(source).TopK(k)
+}
+
+// Authority returns the personalized authority score of v relative to u
+// from a fresh query.
+func (m *Maintainer) Authority(u, v graph.NodeID) float64 {
+	return m.Personalized(u).Authority(v)
+}
+
+func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
+	eps := m.cfg.Eps
+	nWalks := m.cfg.queryWalks()
+	q := &Query{
+		auth: make(map[graph.NodeID]int64),
+		hub:  make(map[graph.NodeID]int64),
+	}
+	q.stats.Source = source
+	q.stats.Walks = nWalks
+
+	pre := m.soc.Snapshot()
+	stored := len(m.walks.OwnedSided(source, walkstore.SideForward))
+	// Stitching cursors: ids[k] lists a node's stored segments for one
+	// pending direction, used[k] how many this query has consumed.
+	ids := make(map[sideKey][]walkstore.SegmentID)
+	used := make(map[sideKey]int)
+
+	for w := 0; w < nWalks; w++ {
+		cur := source
+		dir := walk.Forward
+		q.hub[source]++
+		q.hubTotal++
+		for {
+			k := sideKey{cur, walkstore.Side(dir)}
+			seg, ok := ids[k]
+			if !ok {
+				seg = m.walks.OwnedSided(cur, walkstore.Side(dir))
+				ids[k] = seg
+			}
+			if n := used[k]; n < len(seg) {
+				// Splice: the stored segment is a full sample of the walk's
+				// remainder (it ended in a reset or a dead end), so it
+				// finishes this walk with zero store calls.
+				used[k] = n + 1
+				p := m.walks.Path(seg[n])
+				for i := 1; i < len(p); i++ {
+					if walkstore.Side(dir).PendingAt(i) == walkstore.SideBackward {
+						q.auth[p[i]]++
+						q.authTotal++
+					} else {
+						q.hub[p[i]]++
+						q.hubTotal++
+					}
+				}
+				q.stats.StitchedSegments++
+				q.stats.StitchedSteps += int64(len(p) - 1)
+				q.stats.Steps += int64(len(p) - 1)
+				break
+			}
+			// Bare step: one Social Store round trip.
+			if dir == walk.Forward {
+				if m.rng.Float64() < eps {
+					break
+				}
+				next, ok := m.soc.RandomOutNeighbor(cur, m.rng)
+				q.stats.BareSteps++
+				if !ok {
+					break
+				}
+				cur = next
+				q.auth[cur]++
+				q.authTotal++
+			} else {
+				next, ok := m.soc.RandomInNeighbor(cur, m.rng)
+				q.stats.BareSteps++
+				if !ok {
+					break
+				}
+				cur = next
+				q.hub[cur]++
+				q.hubTotal++
+			}
+			q.stats.Steps++
+			dir = 1 - dir
+		}
+	}
+
+	m.soc.CountFetch() // the query's result fetch against the store
+	q.stats.StoreCalls = m.soc.Snapshot().Sub(pre).Reads
+	q.stats.Theorem8Bound = Theorem8Bound(nWalks, stored, eps)
+	m.c.Queries++
+	return q
+}

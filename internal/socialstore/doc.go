@@ -1,0 +1,20 @@
+// Package socialstore simulates the paper's "Social Store" (Section 3) —
+// the distributed shared-memory database (FlockDB at Twitter) that holds
+// the social graph and serves random-access adjacency queries.
+//
+// The store wraps a dynamic graph with (a) sharding, so per-shard access
+// counts can be inspected the way an operator of a distributed store would,
+// and (b) call accounting, because the paper's personalized-query analysis
+// (Theorem 8, Figure 6) is entirely about the number of calls made to this
+// database: a personalized PageRank or SALSA query's cost is its Social
+// Store round trips, and the walk-segment store exists to keep that count
+// small. Snapshot/Sub give the per-query deltas the salsa query layer
+// measures against its Theorem 8 accounting ceiling. Optionally every call
+// accrues simulated network latency so experiments can report
+// wall-clock-like costs without sleeping.
+//
+// The in-memory sharded implementation preserves the behaviour that matters
+// to the paper: uniform random access to adjacency lists and an exact count
+// of round trips. Nothing in the analysis depends on the store actually
+// being remote.
+package socialstore

@@ -1,18 +1,3 @@
-// Package socialstore simulates the paper's "Social Store" — the
-// distributed shared-memory database (FlockDB at Twitter) that holds the
-// social graph and serves random-access adjacency queries.
-//
-// The store wraps a dynamic graph with (a) sharding, so per-shard access
-// counts can be inspected the way an operator of a distributed store would,
-// and (b) call accounting, because the paper's personalized-query analysis
-// (Theorem 8, Figure 6) is entirely about the number of calls made to this
-// database. Optionally every call accrues simulated network latency so
-// experiments can report wall-clock-like costs without sleeping.
-//
-// The in-memory sharded implementation preserves the behaviour that matters
-// to the paper: uniform random access to adjacency lists and an exact count
-// of round trips. Nothing in the analysis depends on the store actually
-// being remote.
 package socialstore
 
 import (
@@ -128,6 +113,15 @@ func (s *Store) OutDegree(v graph.NodeID) int {
 	return s.g.OutDegree(v)
 }
 
+// InDegree reads v's in-degree (one store call). The SALSA maintainer needs
+// it on every arrival: the backward half of the bipartite reroute rule is
+// driven by the target's in-degree the way the forward half is driven by the
+// source's out-degree.
+func (s *Store) InDegree(v graph.NodeID) int {
+	s.countRead(v)
+	return s.g.InDegree(v)
+}
+
 // RandomOutNeighbor samples a uniformly random out-neighbor of v (one store
 // call). ok is false when v is dangling. With the matching In variant this
 // makes the store a walk.Neighborer, so walk regeneration inside the
@@ -152,6 +146,39 @@ func (s *Store) CountFetch() {
 	s.fetches.Add(1)
 	if s.perCall > 0 {
 		s.latency.Add(int64(s.perCall))
+	}
+}
+
+// CallSnapshot is a cheap point-in-time copy of the scalar call counters,
+// without the per-shard breakdown Metrics materializes. The personalized
+// query layer takes one before and one after each query; the difference is
+// the query's round-trip count, the quantity Theorem 8 bounds.
+type CallSnapshot struct {
+	Reads   int64
+	Writes  int64
+	Fetches int64
+}
+
+// Calls returns the total store round trips in the snapshot.
+func (c CallSnapshot) Calls() int64 { return c.Reads + c.Writes + c.Fetches }
+
+// Sub returns the counter deltas c - prev.
+func (c CallSnapshot) Sub(prev CallSnapshot) CallSnapshot {
+	return CallSnapshot{
+		Reads:   c.Reads - prev.Reads,
+		Writes:  c.Writes - prev.Writes,
+		Fetches: c.Fetches - prev.Fetches,
+	}
+}
+
+// Snapshot returns the current scalar call counters. With concurrent callers
+// the three loads are not a single atomic unit; per-query accounting should
+// bracket a serialized query.
+func (s *Store) Snapshot() CallSnapshot {
+	return CallSnapshot{
+		Reads:   s.reads.Load(),
+		Writes:  s.writes.Load(),
+		Fetches: s.fetches.Load(),
 	}
 }
 

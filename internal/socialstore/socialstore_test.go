@@ -133,10 +133,10 @@ func TestSimulatedLatencyAccrual(t *testing.T) {
 	g := graph.New(0)
 	const perCall = 3 * time.Millisecond
 	s := New(g, WithSimulatedLatency(perCall))
-	s.AddEdge(1, 2)        // 1 write
-	s.OutDegree(1)         // 1 read
-	s.OutNeighbors(1)      // 1 read
-	s.CountFetch()         // 1 fetch
+	s.AddEdge(1, 2)   // 1 write
+	s.OutDegree(1)    // 1 read
+	s.OutNeighbors(1) // 1 read
+	s.CountFetch()    // 1 fetch
 	if !s.RemoveEdge(1, 2) {
 		t.Fatal("RemoveEdge failed")
 	} // 1 write
@@ -190,5 +190,56 @@ func TestGraphAccessor(t *testing.T) {
 	g := graph.New(0)
 	if s := New(g); s.Graph() != g {
 		t.Fatal("Graph() does not return the wrapped graph")
+	}
+}
+
+// TestSnapshotDeltas checks the per-query accounting primitive: snapshot
+// differences must count exactly the calls made between them, the way the
+// personalized query layer brackets each query.
+func TestSnapshotDeltas(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 2)
+	s := New(g)
+	rng := rand.New(rand.NewPCG(11, 0))
+
+	pre := s.Snapshot()
+	s.OutDegree(1)              // read
+	s.InDegree(2)               // read
+	s.RandomInNeighbor(2, rng)  // read
+	s.RandomOutNeighbor(1, rng) // read
+	s.AddEdge(2, 4)             // write
+	s.CountFetch()              // fetch
+	d := s.Snapshot().Sub(pre)
+	if d.Reads != 4 || d.Writes != 1 || d.Fetches != 1 {
+		t.Fatalf("delta=%+v want reads=4 writes=1 fetches=1", d)
+	}
+	if d.Calls() != 6 {
+		t.Fatalf("Calls()=%d want 6", d.Calls())
+	}
+	// Snapshot agrees with the full Metrics view.
+	m := s.Metrics()
+	cur := s.Snapshot()
+	if m.Reads != cur.Reads || m.Writes != cur.Writes || m.Fetches != cur.Fetches {
+		t.Fatalf("Snapshot %+v disagrees with Metrics %+v", cur, m)
+	}
+}
+
+// TestInDegreeReadThrough checks the in-degree read the SALSA maintainer's
+// backward phase relies on.
+func TestInDegreeReadThrough(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	s := New(g)
+	pre := s.Snapshot()
+	if got := s.InDegree(3); got != 2 {
+		t.Fatalf("InDegree(3)=%d want 2", got)
+	}
+	if got := s.InDegree(1); got != 0 {
+		t.Fatalf("InDegree(1)=%d want 0", got)
+	}
+	if d := s.Snapshot().Sub(pre); d.Reads != 2 {
+		t.Fatalf("2 in-degree lookups recorded %d reads", d.Reads)
 	}
 }

@@ -1,0 +1,28 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// TruncatedGeometric samples the index of the first success among k
+// independent Bernoulli(p) trials, conditioned on at least one success:
+//
+//	P(J = j) = (1-p)^j p / (1 - (1-p)^k)   for j in [0, k).
+//
+// Both incremental maintainers use it to make the W(v) fast path
+// distribution-lossless: when the skip coin decides an arrival does perturb
+// the store, the position of the first perturbed step is drawn from exactly
+// the conditional law the skipped naive coin flips would have produced.
+func TruncatedGeometric(rng *rand.Rand, p float64, k int64) int64 {
+	q := 1 - p
+	u := rng.Float64()
+	j := int64(math.Log(1-u*(1-math.Pow(q, float64(k)))) / math.Log(q))
+	if j < 0 {
+		j = 0
+	}
+	if j >= k {
+		j = k - 1
+	}
+	return j
+}

@@ -1,7 +1,3 @@
-// Package stats implements the statistical toolkit the paper's evaluation
-// relies on: rank–size power-law fitting, cumulative degree distributions,
-// 11-point interpolated average precision, and small numeric helpers
-// (harmonic numbers, summaries).
 package stats
 
 import (

@@ -1,0 +1,7 @@
+// Package topk provides bounded top-k selection over (id, score) pairs
+// using a min-heap — the standard tool for extracting the highest
+// personalized scores without materializing a full sort, as the paper's
+// Section 5 top-k personalized SALSA/PageRank queries require. Ties break
+// toward lower node IDs so rankings are deterministic and directly
+// comparable with exact.Ranking.
+package topk

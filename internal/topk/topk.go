@@ -1,6 +1,3 @@
-// Package topk provides bounded top-k selection over (id, score) pairs using
-// a min-heap, the standard tool for extracting the highest personalized
-// scores without materializing a full sort.
 package topk
 
 import (

@@ -1,15 +1,3 @@
-// Package walk implements the random-walk primitives shared by the global
-// and personalized PageRank components: geometric-length "reset" walks
-// (Section 2.1 of the paper) and the alternating forward/backward walks used
-// by SALSA (Section 2.3).
-//
-// A PageRank walk segment simulates one continuous surfer session: starting
-// at a source node it repeatedly follows a uniformly random out-edge, and
-// before every step it resets (terminates the segment) with probability eps.
-// Segment lengths are therefore geometric with mean 1/eps steps. Dangling
-// nodes (out-degree zero) force a reset, the standard Monte Carlo
-// convention, which matches the paper's walk semantics where every visit
-// ends a session if no edge can be followed.
 package walk
 
 import (
@@ -34,6 +22,21 @@ func (d Direction) String() string {
 		return "forward"
 	}
 	return "backward"
+}
+
+// Opposite returns the other direction.
+func (d Direction) Opposite() Direction { return 1 - d }
+
+// DirectionFrom returns the direction of the step an alternating walk takes
+// *from* path position i, given the direction of its first step: first at
+// even positions, its opposite at odd ones. This parity law is what lets the
+// walk store index SALSA visits by pending direction without storing a bit
+// per visit.
+func DirectionFrom(first Direction, i int) Direction {
+	if i%2 == 0 {
+		return first
+	}
+	return 1 - first
 }
 
 // Segment is the recorded path of one reset-terminated walk. Path[0] is the
@@ -122,26 +125,20 @@ func (s *SalsaSegment) Len() int { return len(s.Path) }
 // StepDirection returns the direction of the step that arrived at Path[i]
 // (i >= 1). Steps alternate starting from First.
 func (s *SalsaSegment) StepDirection(i int) Direction {
-	if (i-1)%2 == 0 {
-		return s.First
-	}
-	return 1 - s.First
+	return DirectionFrom(s.First, i-1)
 }
 
 // DirectionAt returns the direction of the step taken *from* Path[i], i.e.
 // the direction of step i+1. For i == len-1 no step was taken.
 func (s *SalsaSegment) DirectionAt(i int) Direction {
-	if i%2 == 0 {
-		return s.First
-	}
-	return 1 - s.First
+	return DirectionFrom(s.First, i)
 }
 
 // Salsa generates one SALSA walk segment from source. Steps alternate
 // between the first direction and its opposite; the walk may reset only
-// before a Forward step (with probability eps), matching Section 2.3, so the
-// expected length is 2/eps steps. A node without edges in the required
-// direction ends the segment.
+// before a Forward step (with probability eps), matching Section 2.3, so a
+// forward-first walk takes 2(1-eps)/eps steps in expectation. A node without
+// edges in the required direction ends the segment.
 func Salsa(g Neighborer, source graph.NodeID, first Direction, eps float64, rng *rand.Rand) SalsaSegment {
 	path := []graph.NodeID{source}
 	cur := source
@@ -168,9 +165,20 @@ func Salsa(g Neighborer, source graph.NodeID, first Direction, eps float64, rng 
 }
 
 // ContinueSalsa extends a SALSA walk from cur where the next step has
-// direction dir. It returns the freshly visited nodes.
+// direction dir. It returns the freshly visited nodes. By the memorylessness
+// of the reset coin, the remainder of any alternating walk paused at cur
+// with pending direction dir is distributed exactly as this continuation —
+// the property the maintainer's reroutes and the query layer's segment
+// stitching both rely on.
 func ContinueSalsa(g Neighborer, cur graph.NodeID, dir Direction, eps float64, rng *rand.Rand) []graph.NodeID {
-	var tail []graph.NodeID
+	return AppendContinueSalsa(g, cur, dir, eps, rng, nil)
+}
+
+// AppendContinueSalsa is ContinueSalsa with a caller-supplied buffer: the
+// freshly visited nodes are appended to buf and the extended slice returned.
+// The SALSA maintainer reuses one buffer across reroutes to avoid a
+// per-arrival allocation, mirroring AppendContinue.
+func AppendContinueSalsa(g Neighborer, cur graph.NodeID, dir Direction, eps float64, rng *rand.Rand, buf []graph.NodeID) []graph.NodeID {
 	for {
 		if dir == Forward && rng.Float64() < eps {
 			break
@@ -185,9 +193,9 @@ func ContinueSalsa(g Neighborer, cur graph.NodeID, dir Direction, eps float64, r
 		if !ok {
 			break
 		}
-		tail = append(tail, next)
+		buf = append(buf, next)
 		cur = next
 		dir = 1 - dir
 	}
-	return tail
+	return buf
 }

@@ -86,6 +86,97 @@ func TestContinueMatchesAppendContinue(t *testing.T) {
 	}
 }
 
+// TestDirectionParityLaws pins the parity algebra the sided walk store and
+// the SALSA maintainer both rely on: the step taken from position i has
+// direction first XOR (i&1), and the segment accessors agree with the
+// package-level DirectionFrom.
+func TestDirectionParityLaws(t *testing.T) {
+	for _, first := range []Direction{Forward, Backward} {
+		if DirectionFrom(first, 0) != first {
+			t.Fatalf("DirectionFrom(%v, 0) != %v", first, first)
+		}
+		for i := 0; i < 8; i++ {
+			if DirectionFrom(first, i) == DirectionFrom(first, i+1) {
+				t.Fatalf("directions fail to alternate at %d", i)
+			}
+			if DirectionFrom(first, i).Opposite() != DirectionFrom(first, i+1) {
+				t.Fatalf("Opposite disagrees with alternation at %d", i)
+			}
+		}
+		seg := SalsaSegment{Path: make([]graph.NodeID, 9), First: first}
+		for i := 1; i < seg.Len(); i++ {
+			if seg.StepDirection(i) != DirectionFrom(first, i-1) {
+				t.Fatalf("StepDirection(%d) != DirectionFrom(first, %d)", i, i-1)
+			}
+		}
+		for i := 0; i < seg.Len(); i++ {
+			if seg.DirectionAt(i) != DirectionFrom(first, i) {
+				t.Fatalf("DirectionAt(%d) != DirectionFrom(first, %d)", i, i)
+			}
+		}
+	}
+}
+
+// TestSalsaResetLaw checks the asymmetric reset rule on a cycle (every node
+// has one in- and one out-edge, so only the coin can stop a walk): the walk
+// resets exclusively before forward steps, which forces the terminal's
+// pending direction to be Forward — odd path lengths for forward-first
+// segments, even for backward-first — and fixes the mean lengths at
+// 1 + 2(1-eps)/eps and 2 + 2(1-eps)/eps respectively.
+func TestSalsaResetLaw(t *testing.T) {
+	const eps = 0.25
+	const samples = 20000
+	g := cycle(64)
+	rng := rand.New(rand.NewPCG(23, 0))
+	for _, first := range []Direction{Forward, Backward} {
+		var sum float64
+		for i := 0; i < samples; i++ {
+			seg := Salsa(g, graph.NodeID(i%64), first, eps, rng)
+			last := seg.Len() - 1
+			if seg.DirectionAt(last) != Forward {
+				t.Fatalf("%v-first segment ended pending %v; resets only precede forward steps",
+					first, seg.DirectionAt(last))
+			}
+			sum += float64(seg.Len())
+		}
+		mean := sum / samples
+		want := 1 + 2*(1-eps)/eps
+		if first == Backward {
+			want++ // the unconditional first backward step
+		}
+		// Per-sample std is sqrt(4(1-eps)/eps^2) ~ 7; 0.25 is ~5 sigma on
+		// the sample mean.
+		if math.Abs(mean-want) > 0.25 {
+			t.Fatalf("%v-first mean length %.3f, want %.3f +- 0.25", first, mean, want)
+		}
+	}
+}
+
+// TestContinueSalsaMatchesSalsa pins the stitching law: with an identical
+// RNG stream, continuing a walk paused at its source equals sampling the
+// walk fresh — the memorylessness the maintainer's reroutes and the query
+// layer's segment splicing both assume.
+func TestContinueSalsaMatchesSalsa(t *testing.T) {
+	g := cycle(16)
+	for _, first := range []Direction{Forward, Backward} {
+		full := Salsa(g, 3, first, 0.3, rand.New(rand.NewPCG(29, 1)))
+		tail := ContinueSalsa(g, 3, first, 0.3, rand.New(rand.NewPCG(29, 1)))
+		if len(tail) != full.Len()-1 {
+			t.Fatalf("%v-first tail length %d, walk length %d", first, len(tail), full.Len())
+		}
+		for i, v := range tail {
+			if v != full.Path[i+1] {
+				t.Fatalf("%v-first tails diverge at %d: %v vs %v", first, i, tail, full.Path[1:])
+			}
+		}
+		buf := []graph.NodeID{99}
+		out := AppendContinueSalsa(g, 3, first, 0.3, rand.New(rand.NewPCG(29, 1)), buf)
+		if out[0] != 99 || len(out) != 1+len(tail) {
+			t.Fatalf("AppendContinueSalsa ignored prefix: %v", out)
+		}
+	}
+}
+
 func TestSalsaAlternatesDirections(t *testing.T) {
 	// 1 -> 2, 3 -> 2: from 1 a forward step reaches 2, a backward step from
 	// 2 reaches 1 or 3, and so on.
@@ -93,8 +184,8 @@ func TestSalsaAlternatesDirections(t *testing.T) {
 	g.AddEdge(1, 2)
 	g.AddEdge(3, 2)
 	rng := rand.New(rand.NewPCG(21, 0))
-	for i := 0; i < 200; i++ {
-		seg := Salsa(g, 1, Forward, 0.3, rng)
+	check := func(seg SalsaSegment) {
+		t.Helper()
 		for j := 1; j < seg.Len(); j++ {
 			dir := seg.StepDirection(j)
 			from, to := seg.Path[j-1], seg.Path[j]
@@ -105,5 +196,9 @@ func TestSalsaAlternatesDirections(t *testing.T) {
 				t.Fatalf("backward step %d->%d has no reverse edge", from, to)
 			}
 		}
+	}
+	for i := 0; i < 200; i++ {
+		check(Salsa(g, 1, Forward, 0.3, rng))
+		check(Salsa(g, 2, Backward, 0.3, rng))
 	}
 }

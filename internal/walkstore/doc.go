@@ -1,0 +1,49 @@
+// Package walkstore implements the paper's "PageRank Store" (Section 2.2):
+// the database of random walk segments kept alongside the social graph, and
+// the counters that make both the incremental update rule and the estimate
+// reads cheap.
+//
+// For every node the store holds the segments that node owns, and — the key
+// to cheap incremental updates — an inverted visit index mapping each node v
+// to the set of segments that pass through v, plus the counters the paper
+// names explicitly:
+//
+//	X_v  — total number of visits to v across all stored segments, the
+//	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR)
+//	       (the paper's Section 2.1 estimator). On graphs with dangling
+//	       nodes, walks truncate early and the better-normalized estimator
+//	       is X_v / TotalVisits (same shape, correct scale);
+//	W(v) — number of distinct stored segments visiting v, used by the
+//	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path
+//	       of the paper's Section 2.2 cost analysis.
+//	T(v) — number of stored segments whose path *ends* at v (Terminals).
+//	       Candidates(v) = X_v - T(v) counts the outgoing steps stored
+//	       segments take from v, which is the exact exponent for the skip
+//	       coin: an arriving edge (v, w) needs no rerouting with probability
+//	       (1-1/d)^Candidates(v), so the incremental maintainer can skip the
+//	       whole arrival on one counter read without fetching any path.
+//
+// Sided segments. SALSA (Sections 2.3 and 5) stores alternating walks; a
+// segment can be tagged with the direction of its first step (AddSided).
+// Because alternation is strict, the pending step direction of a visit is
+// side XOR position parity, and the store maintains per-direction visit,
+// terminal, and total counters: PendingVisits(v, Backward) is exactly the
+// authority-side visit count of v, PendingCandidates the sided skip-coin
+// exponent, PendingTerminals the revival candidates — the sided analogues
+// of X_v, Candidates, and T(v).
+//
+// Storage layout. Segment paths live in one grow-only arena ([]graph.NodeID)
+// addressed by (offset, length); mutation never writes inside the occupied
+// prefix of the arena, so a path slice handed out by Path stays valid and
+// immutable for the life of the store even across ReplaceTail (which writes
+// the revised path at the arena tail and repoints the segment). The visitor
+// index keeps, per node, a small sorted (segment, multiplicity) slice and
+// upgrades to a map only for high-degree hubs, replacing the nested-map
+// layout whose per-node allocation dominated the old hot path.
+//
+// The store is deliberately agnostic about what a segment means: it stores
+// node paths. The PageRank maintainer stores reset walks; the SALSA
+// maintainer stores alternating walks. An optional observer receives every
+// visit mutation so callers can maintain further derived counters without a
+// second index.
+package walkstore

@@ -1,40 +1,3 @@
-// Package walkstore implements the paper's "PageRank Store": the database
-// of random walk segments kept alongside the social graph (Section 2.2).
-//
-// For every node the store holds the segments that node owns, and — the key
-// to cheap incremental updates — an inverted visit index mapping each node v
-// to the set of segments that pass through v, plus the counters the paper
-// names explicitly:
-//
-//	X_v  — total number of visits to v across all stored segments, the
-//	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR).
-//	       On graphs with dangling nodes, walks truncate early and the
-//	       better-normalized estimator is X_v / TotalVisits (same shape,
-//	       correct scale);
-//	W(v) — number of distinct stored segments visiting v, used by the
-//	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path.
-//	T(v) — number of stored segments whose path *ends* at v (Terminals).
-//	       Candidates(v) = X_v - T(v) counts the outgoing steps stored
-//	       segments take from v, which is the exact exponent for the skip
-//	       coin: an arriving edge (v, w) needs no rerouting with probability
-//	       (1-1/d)^Candidates(v), so the incremental maintainer can skip the
-//	       whole arrival on one counter read without fetching any path.
-//
-// Storage layout. Segment paths live in one grow-only arena ([]graph.NodeID)
-// addressed by (offset, length); mutation never writes inside the occupied
-// prefix of the arena, so a path slice handed out by Path stays valid and
-// immutable for the life of the store even across ReplaceTail (which writes
-// the revised path at the arena tail and repoints the segment). The visitor
-// index keeps, per node, a small sorted (segment, multiplicity) slice and
-// upgrades to a map only for high-degree hubs, replacing the nested-map
-// layout whose per-node allocation dominated the old hot path.
-//
-// The store is deliberately agnostic about what a segment means: it stores
-// node paths. The PageRank maintainer stores reset walks; the SALSA
-// maintainer stores alternating walks and keeps the per-segment direction
-// bit itself. An optional observer receives every visit mutation so callers
-// can maintain derived counters (SALSA's hub/authority tallies) without a
-// second index.
 package walkstore
 
 import (
@@ -49,6 +12,40 @@ import (
 // never reused.
 type SegmentID int64
 
+// Side tags a stored segment with the direction of its first step. PageRank
+// segments are Unsided; SALSA segments are stored once per side so the
+// maintainer can serve hub and authority scores from one store. The values
+// mirror walk.Direction (Forward = 0, Backward = 1) so callers can convert
+// with a cast.
+type Side int8
+
+const (
+	// Unsided marks a plain reset-walk segment (no alternation structure).
+	Unsided Side = -1
+	// SideForward marks a segment whose first step follows an out-edge: an
+	// alternating walk started on the hub side.
+	SideForward Side = 0
+	// SideBackward marks a segment whose first step follows an in-edge: an
+	// alternating walk started on the authority side.
+	SideBackward Side = 1
+)
+
+// PendingAt returns the direction of the step an alternating segment takes
+// *from* path position pos: the first direction at even positions, its
+// opposite at odd ones. Only valid on sided values.
+func (s Side) PendingAt(pos int) Side {
+	if s < 0 {
+		panic("walkstore: PendingAt on unsided segment")
+	}
+	return Side(int8(s) ^ int8(pos&1))
+}
+
+func mustDir(d Side) {
+	if d != SideForward && d != SideBackward {
+		panic(fmt.Sprintf("walkstore: invalid direction %d", d))
+	}
+}
+
 // Observer is notified of visit-count mutations: delta is +1 when a segment
 // gains a visit to node at path position pos, -1 when it loses one.
 type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
@@ -57,6 +54,7 @@ type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
 type segRef struct {
 	off  int64
 	n    int32
+	side Side
 	live bool
 }
 
@@ -168,16 +166,33 @@ type Store struct {
 	liveNodes   int64 // arena slots referenced by live segments
 	numLive     int
 	observer    Observer
+
+	// Per-side counters over sided (alternating) segments, indexed by the
+	// pending step direction of a visit: a visit at position pos of a segment
+	// with first direction f has pending direction f XOR (pos&1). Visits
+	// pending a Backward step are authority-side, visits pending a Forward
+	// step are hub-side, so these tables are exactly the SALSA maintainer's
+	// score numerators and skip-coin exponents.
+	sidedVisits    [2]map[graph.NodeID]int64
+	sidedTerminals [2]map[graph.NodeID]int64
+	sidedTotals    [2]int64
+	ownedSided     [2]map[graph.NodeID][]SegmentID
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
+	s := &Store{
 		owned:     make(map[graph.NodeID][]SegmentID),
 		visitors:  make(map[graph.NodeID]*visitorSet),
 		visits:    make(map[graph.NodeID]int64),
 		terminals: make(map[graph.NodeID]int64),
 	}
+	for d := 0; d < 2; d++ {
+		s.sidedVisits[d] = make(map[graph.NodeID]int64)
+		s.sidedTerminals[d] = make(map[graph.NodeID]int64)
+		s.ownedSided[d] = make(map[graph.NodeID][]SegmentID)
+	}
+	return s
 }
 
 // SetObserver installs an observer for visit mutations. Must be called
@@ -192,23 +207,41 @@ func (s *Store) SetObserver(o Observer) {
 	s.observer = o
 }
 
-// Add stores a new segment owned by its first node and returns its ID.
-// The path must be non-empty. The path is copied; the caller keeps ownership
-// of its slice.
+// Add stores a new unsided segment owned by its first node and returns its
+// ID. The path must be non-empty. The path is copied; the caller keeps
+// ownership of its slice.
 func (s *Store) Add(path []graph.NodeID) SegmentID {
+	return s.AddSided(path, Unsided)
+}
+
+// AddSided stores a new segment tagged with the direction of its first step.
+// Sided segments additionally maintain the per-side pending-direction
+// counters and the per-side owner index.
+func (s *Store) AddSided(path []graph.NodeID, side Side) SegmentID {
 	if len(path) == 0 {
 		panic("walkstore: empty segment path")
 	}
+	if side != Unsided {
+		mustDir(side)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.addLocked(path)
+	return s.addLocked(path, side)
 }
 
-// AddBatch stores many segments under one lock acquisition — the bulk-load
-// path the parallel walk engine uses to flush a burst of finished segments.
-// Every path must be non-empty; paths are copied. The returned IDs are in
-// input order.
+// AddBatch stores many unsided segments under one lock acquisition — the
+// bulk-load path the parallel walk engine uses to flush a burst of finished
+// segments. Every path must be non-empty; paths are copied. The returned IDs
+// are in input order.
 func (s *Store) AddBatch(paths [][]graph.NodeID) []SegmentID {
+	return s.AddBatchSided(paths, Unsided)
+}
+
+// AddBatchSided is AddBatch with every segment tagged with one side.
+func (s *Store) AddBatchSided(paths [][]graph.NodeID, side Side) []SegmentID {
+	if side != Unsided {
+		mustDir(side)
+	}
 	ids := make([]SegmentID, len(paths))
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -216,21 +249,25 @@ func (s *Store) AddBatch(paths [][]graph.NodeID) []SegmentID {
 		if len(p) == 0 {
 			panic("walkstore: empty segment path")
 		}
-		ids[i] = s.addLocked(p)
+		ids[i] = s.addLocked(p, side)
 	}
 	return ids
 }
 
-func (s *Store) addLocked(path []graph.NodeID) SegmentID {
+func (s *Store) addLocked(path []graph.NodeID, side Side) SegmentID {
 	id := SegmentID(len(s.segs))
 	off := int64(len(s.arena))
 	s.arena = append(s.arena, path...)
-	s.segs = append(s.segs, segRef{off: off, n: int32(len(path)), live: true})
+	s.segs = append(s.segs, segRef{off: off, n: int32(len(path)), side: side, live: true})
 	s.numLive++
 	s.liveNodes += int64(len(path))
 	src := path[0]
 	s.owned[src] = append(s.owned[src], id)
 	s.terminals[path[len(path)-1]]++
+	if side >= 0 {
+		s.ownedSided[side][src] = append(s.ownedSided[side][src], id)
+		s.sidedTerminals[side.PendingAt(len(path)-1)][path[len(path)-1]]++
+	}
 	for pos, v := range path {
 		s.addVisitLocked(id, v, pos)
 	}
@@ -263,6 +300,11 @@ func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
 	vs.add(id)
 	s.visits[v]++
 	s.totalVisits++
+	if side := s.segs[id].side; side >= 0 {
+		d := side.PendingAt(pos)
+		s.sidedVisits[d][v]++
+		s.sidedTotals[d]++
+	}
 	if s.observer != nil {
 		s.observer(id, v, pos, +1)
 	}
@@ -281,8 +323,24 @@ func (s *Store) removeVisitLocked(id SegmentID, v graph.NodeID, pos int) {
 		delete(s.visits, v)
 	}
 	s.totalVisits--
+	if side := s.segs[id].side; side >= 0 {
+		d := side.PendingAt(pos)
+		s.sidedVisits[d][v]--
+		if s.sidedVisits[d][v] == 0 {
+			delete(s.sidedVisits[d], v)
+		}
+		s.sidedTotals[d]--
+	}
 	if s.observer != nil {
 		s.observer(id, v, pos, -1)
+	}
+}
+
+// decSidedTerminalLocked drops one sided terminal count, clearing empties.
+func (s *Store) decSidedTerminalLocked(d Side, v graph.NodeID) {
+	s.sidedTerminals[d][v]--
+	if s.sidedTerminals[d][v] == 0 {
+		delete(s.sidedTerminals[d], v)
 	}
 }
 
@@ -317,6 +375,87 @@ func (s *Store) OwnedBy(u graph.NodeID) []SegmentID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return append([]SegmentID(nil), s.owned[u]...)
+}
+
+// OwnedSided returns the IDs of u's stored segments whose first step has the
+// given direction, in insertion order. The returned slice is a copy.
+func (s *Store) OwnedSided(u graph.NodeID, side Side) []SegmentID {
+	mustDir(side)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]SegmentID(nil), s.ownedSided[side][u]...)
+}
+
+// SideOf returns the side a live segment was stored with (Unsided for plain
+// reset walks).
+func (s *Store) SideOf(id SegmentID) Side {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.refLocked(id).side
+}
+
+// PendingVisits returns the number of stored sided visits to v whose pending
+// step has direction dir (terminal visits included). Visits pending a
+// Backward step are authority-side visits; pending Forward, hub-side.
+func (s *Store) PendingVisits(v graph.NodeID, dir Side) int64 {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sidedVisits[dir][v]
+}
+
+// PendingTerminals returns the number of stored sided segments that end at v
+// with a pending step of direction dir — the walks an arriving edge can
+// revive when v gains its first edge in that direction.
+func (s *Store) PendingTerminals(v graph.NodeID, dir Side) int64 {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sidedTerminals[dir][v]
+}
+
+// PendingCandidates returns the number of dir-direction steps stored sided
+// segments actually take from v (pending visits minus terminals) — the exact
+// exponent of the SALSA maintainer's skip coin, the sided analogue of
+// Candidates.
+func (s *Store) PendingCandidates(v graph.NodeID, dir Side) int64 {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sidedVisits[dir][v] - s.sidedTerminals[dir][v]
+}
+
+// PendingTotal returns the total number of stored sided visits pending a
+// step of direction dir — the normalizer of the global hub (Forward) and
+// authority (Backward) score estimates.
+func (s *Store) PendingTotal(dir Side) int64 {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sidedTotals[dir]
+}
+
+// PendingVisitCounts returns a copy of the full pending-visit table for one
+// direction, together with its total, read under one lock so the ratios form
+// a consistent snapshot.
+func (s *Store) PendingVisitCounts(dir Side) (counts map[graph.NodeID]int64, total int64) {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	counts = make(map[graph.NodeID]int64, len(s.sidedVisits[dir]))
+	for v, x := range s.sidedVisits[dir] {
+		counts[v] = x
+	}
+	return counts, s.sidedTotals[dir]
+}
+
+// PendingVisitFraction returns the pending-dir visit count of v together
+// with the side total, read under one lock.
+func (s *Store) PendingVisitFraction(v graph.NodeID, dir Side) (visits, total int64) {
+	mustDir(dir)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sidedVisits[dir][v], s.sidedTotals[dir]
 }
 
 // Visitors returns the IDs of segments that visit v. Order is unspecified.
@@ -431,6 +570,10 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 		newEnd = newTail[len(newTail)-1]
 	}
 	s.retargetTerminalLocked(old[r.n-1], newEnd)
+	if r.side >= 0 {
+		s.decSidedTerminalLocked(r.side.PendingAt(int(r.n)-1), old[r.n-1])
+		s.sidedTerminals[r.side.PendingAt(keep+len(newTail)-1)][newEnd]++
+	}
 	for pos := int(r.n) - 1; pos >= keep; pos-- {
 		s.removeVisitLocked(id, old[pos], pos)
 		removed++
@@ -441,7 +584,7 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 	s.arena = append(s.arena, old[:keep]...)
 	s.arena = append(s.arena, newTail...)
 	n := keep + len(newTail)
-	s.segs[id] = segRef{off: off, n: int32(n), live: true}
+	s.segs[id] = segRef{off: off, n: int32(n), side: r.side, live: true}
 	s.liveNodes += int64(n) - int64(r.n)
 	for i, v := range newTail {
 		s.addVisitLocked(id, v, keep+i)
@@ -458,6 +601,9 @@ func (s *Store) Remove(id SegmentID) {
 	r := s.refLocked(id)
 	p := s.pathLocked(r)
 	s.decTerminalLocked(p[len(p)-1])
+	if r.side >= 0 {
+		s.decSidedTerminalLocked(r.side.PendingAt(len(p)-1), p[len(p)-1])
+	}
 	for pos := len(p) - 1; pos >= 0; pos-- {
 		s.removeVisitLocked(id, p[pos], pos)
 	}
@@ -472,6 +618,18 @@ func (s *Store) Remove(id SegmentID) {
 	if len(s.owned[src]) == 0 {
 		delete(s.owned, src)
 	}
+	if r.side >= 0 {
+		sids := s.ownedSided[r.side][src]
+		for i, x := range sids {
+			if x == id {
+				s.ownedSided[r.side][src] = append(sids[:i], sids[i+1:]...)
+				break
+			}
+		}
+		if len(s.ownedSided[r.side][src]) == 0 {
+			delete(s.ownedSided[r.side], src)
+		}
+	}
 	s.segs[id].live = false
 	s.numLive--
 	s.liveNodes -= int64(r.n)
@@ -485,6 +643,12 @@ func (s *Store) Validate() error {
 	wantVisits := make(map[graph.NodeID]int64)
 	wantVisitors := make(map[graph.NodeID]map[SegmentID]int32)
 	wantTerminals := make(map[graph.NodeID]int64)
+	var wantSidedVisits, wantSidedTerminals [2]map[graph.NodeID]int64
+	var wantSidedTotals [2]int64
+	for d := 0; d < 2; d++ {
+		wantSidedVisits[d] = make(map[graph.NodeID]int64)
+		wantSidedTerminals[d] = make(map[graph.NodeID]int64)
+	}
 	var total, live int64
 	numLive := 0
 	for i := range s.segs {
@@ -503,13 +667,24 @@ func (s *Store) Validate() error {
 		p := s.pathLocked(r)
 		live += int64(len(p))
 		wantTerminals[p[len(p)-1]]++
-		for _, v := range p {
+		for pos, v := range p {
 			wantVisits[v]++
 			total++
 			if wantVisitors[v] == nil {
 				wantVisitors[v] = make(map[SegmentID]int32)
 			}
 			wantVisitors[v][id]++
+			if r.side >= 0 {
+				d := r.side.PendingAt(pos)
+				wantSidedVisits[d][v]++
+				wantSidedTotals[d]++
+			}
+		}
+		if r.side >= 0 {
+			wantSidedTerminals[r.side.PendingAt(len(p)-1)][p[len(p)-1]]++
+			if !slices.Contains(s.ownedSided[r.side][p[0]], id) {
+				return fmt.Errorf("walkstore: segment %d missing from sided owner index of node %d", id, p[0])
+			}
 		}
 		if !slices.Contains(s.owned[p[0]], id) {
 			return fmt.Errorf("walkstore: segment %d missing from owner index of node %d", id, p[0])
@@ -566,6 +741,32 @@ func (s *Store) Validate() error {
 	for id := range s.owned {
 		if len(s.owned[id]) == 0 {
 			return fmt.Errorf("walkstore: empty owner slot for node %d", id)
+		}
+	}
+	for d := 0; d < 2; d++ {
+		if s.sidedTotals[d] != wantSidedTotals[d] {
+			return fmt.Errorf("walkstore: sidedTotals[%d]=%d want %d", d, s.sidedTotals[d], wantSidedTotals[d])
+		}
+		if len(s.sidedVisits[d]) != len(wantSidedVisits[d]) {
+			return fmt.Errorf("walkstore: sided visit table %d has %d nodes, want %d", d, len(s.sidedVisits[d]), len(wantSidedVisits[d]))
+		}
+		for v, x := range wantSidedVisits[d] {
+			if s.sidedVisits[d][v] != x {
+				return fmt.Errorf("walkstore: sidedVisits[%d][%d]=%d want %d", d, v, s.sidedVisits[d][v], x)
+			}
+		}
+		if len(s.sidedTerminals[d]) != len(wantSidedTerminals[d]) {
+			return fmt.Errorf("walkstore: sided terminal table %d has %d nodes, want %d", d, len(s.sidedTerminals[d]), len(wantSidedTerminals[d]))
+		}
+		for v, x := range wantSidedTerminals[d] {
+			if s.sidedTerminals[d][v] != x {
+				return fmt.Errorf("walkstore: sidedTerminals[%d][%d]=%d want %d", d, v, s.sidedTerminals[d][v], x)
+			}
+		}
+		for v := range s.ownedSided[d] {
+			if len(s.ownedSided[d][v]) == 0 {
+				return fmt.Errorf("walkstore: empty sided owner slot for node %d", v)
+			}
 		}
 	}
 	return nil
