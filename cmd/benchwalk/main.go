@@ -2,18 +2,25 @@
 // preferential-attachment graph, times full walk-store construction (n·R
 // segments) and an edge-arrival update storm at several worker counts, and
 // writes the results to a JSON file (BENCH_walkgen.json at the repo root by
-// convention) so the performance trajectory is tracked across PRs.
+// convention) so the performance trajectory is tracked across PRs. The
+// report records num_cpu and gomaxprocs, so a committed result is
+// self-describing about how much parallel speedup the host could even show.
 //
-// The maintainer storm replays the same arrivals through the incremental
-// pagerank.Maintainer and reports, next to throughput, the W(v) fast-path
-// skip rate and the social-store call counts the paper's cost analysis is
-// stated in.
+// The maintainer storms replay the same arrivals through the incremental
+// pagerank.Maintainer and salsa.Maintainer at each -updateworkers count
+// (1 = the serialized exact path, >1 = the striped parallel path) and
+// report, next to throughput, the fast-path skip rate and the social-store
+// call counts the paper's cost analysis is stated in. The concurrent-query
+// profile runs personalized SALSA queries *while* a parallel storm is
+// consuming arrivals — the read-mostly path that used to serialize against
+// updates.
 //
 // Usage:
 //
-//	go run ./cmd/benchwalk                  # full run: n=100k, d=10
-//	go run ./cmd/benchwalk -smoke           # small CI-sized run
-//	go run ./cmd/benchwalk -workers 1,4,8   # explicit worker counts
+//	go run ./cmd/benchwalk                    # full run: n=100k, d=10
+//	go run ./cmd/benchwalk -smoke             # small CI-sized run
+//	go run ./cmd/benchwalk -workers 1,4,8     # explicit build worker counts
+//	go run ./cmd/benchwalk -updateworkers 1,4 # maintainer storm worker counts
 //	go run ./cmd/benchwalk -maintstorm=false  # engine-only runs
 package main
 
@@ -27,6 +34,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"fastppr/internal/engine"
@@ -50,47 +58,70 @@ type runResult struct {
 	EdgesPerSec   float64 `json:"update_edges_per_sec"`
 }
 
-// maintainerResult reports the incremental maintainer's storm replay: the
-// same arrivals consumed through pagerank.Maintainer, with the fast-path
-// skip rate and the call accounting against the social store.
+// maintainerResult reports one incremental-maintainer storm replay: the same
+// arrivals consumed through pagerank.Maintainer at one update-worker count,
+// with the fast-path skip rate and the call accounting against the social
+// store.
 type maintainerResult struct {
-	Seconds     float64 `json:"seconds"`
-	Edges       int     `json:"edges"`
-	EdgesPerSec float64 `json:"edges_per_sec"`
-	FastSkips   int64   `json:"fast_skips"`
-	EmptySkips  int64   `json:"empty_skips"`
-	SlowPaths   int64   `json:"slow_paths"`
-	SkipRate    float64 `json:"skip_rate"`
-	Rerouted    int64   `json:"rerouted_segments"`
-	Revived     int64   `json:"revived_segments"`
-	StoreReads  int64   `json:"store_reads"`
-	StoreWrites int64   `json:"store_writes"`
+	UpdateWorkers int     `json:"update_workers"`
+	Seconds       float64 `json:"seconds"`
+	Edges         int     `json:"edges"`
+	EdgesPerSec   float64 `json:"edges_per_sec"`
+	FastSkips     int64   `json:"fast_skips"`
+	EmptySkips    int64   `json:"empty_skips"`
+	SlowPaths     int64   `json:"slow_paths"`
+	SlowNoops     int64   `json:"slow_noops"`
+	SkipRate      float64 `json:"skip_rate"`
+	Rerouted      int64   `json:"rerouted_segments"`
+	Revived       int64   `json:"revived_segments"`
+	StoreReads    int64   `json:"store_reads"`
+	StoreWrites   int64   `json:"store_writes"`
 }
 
-// salsaResult reports the SALSA maintainer's storm replay and the
-// personalized-query latency/cost profile: mean store calls per query next
-// to the Theorem 8 accounting ceiling those calls are measured against.
+// salsaResult reports one SALSA maintainer storm replay and (on the last
+// worker count) the personalized-query latency/cost profile: mean store
+// calls per query next to the Theorem 8 accounting ceiling those calls are
+// measured against.
 type salsaResult struct {
+	UpdateWorkers    int     `json:"update_workers"`
 	BootstrapSeconds float64 `json:"bootstrap_seconds"`
 	StormSeconds     float64 `json:"storm_seconds"`
 	Edges            int     `json:"edges"`
 	EdgesPerSec      float64 `json:"edges_per_sec"`
 	SkipRate         float64 `json:"skip_rate"`
+	SlowNoops        int64   `json:"slow_noops"`
 	Rerouted         int64   `json:"rerouted_segments"`
 	Revived          int64   `json:"revived_segments"`
+	Queries          int     `json:"queries,omitempty"`
+	QueryWalks       int     `json:"query_walks,omitempty"`
+	MeanQueryMillis  float64 `json:"mean_query_millis,omitempty"`
+	MeanStoreCalls   float64 `json:"mean_store_calls_per_query,omitempty"`
+	MaxStoreCalls    int64   `json:"max_store_calls_per_query,omitempty"`
+	Theorem8Bound    float64 `json:"theorem8_bound_per_query,omitempty"`
+	MeanStitched     float64 `json:"mean_stitched_segments_per_query,omitempty"`
+}
+
+// concurrentQueryResult profiles personalized queries racing a parallel
+// SALSA storm: the storm's throughput while queries were in flight, the
+// query latency under write load, and the mean walk-store epoch drift each
+// query observed (how many segment mutations landed mid-query).
+type concurrentQueryResult struct {
+	StormWorkers     int     `json:"storm_workers"`
+	Queriers         int     `json:"queriers"`
 	Queries          int     `json:"queries"`
 	QueryWalks       int     `json:"query_walks"`
+	StormSeconds     float64 `json:"storm_seconds"`
+	StormEdgesPerSec float64 `json:"storm_edges_per_sec"`
 	MeanQueryMillis  float64 `json:"mean_query_millis"`
 	MeanStoreCalls   float64 `json:"mean_store_calls_per_query"`
-	MaxStoreCalls    int64   `json:"max_store_calls_per_query"`
-	Theorem8Bound    float64 `json:"theorem8_bound_per_query"`
-	MeanStitched     float64 `json:"mean_stitched_segments_per_query"`
+	MeanEpochDrift   float64 `json:"mean_epoch_drift_per_query"`
 }
 
 type report struct {
 	Timestamp    string      `json:"timestamp"`
 	GoVersion    string      `json:"go_version"`
 	GOMAXPROCS   int         `json:"gomaxprocs"`
+	NumCPU       int         `json:"num_cpu"`
 	Nodes        int         `json:"nodes"`
 	EdgesPerNode int         `json:"edges_per_node"`
 	GraphEdges   int         `json:"graph_edges"`
@@ -99,30 +130,40 @@ type report struct {
 	Seed         uint64      `json:"seed"`
 	Runs         []runResult `json:"runs"`
 	// SpeedupBuild is max-worker build throughput over the 1-worker run —
-	// the number the ISSUE's ≥3× acceptance criterion tracks (only
-	// meaningful on a multi-core host; see GOMAXPROCS).
+	// only meaningful when num_cpu > 1; the recorded core count makes a
+	// committed single-core ~1x self-explanatory.
 	SpeedupBuild float64 `json:"speedup_build"`
-	// MaintainerStorm is present unless -maintstorm=false.
-	MaintainerStorm *maintainerResult `json:"maintainer_storm,omitempty"`
-	// SalsaStorm is present unless -salsa=false.
-	SalsaStorm *salsaResult `json:"salsa_storm,omitempty"`
+	// MaintainerStorms holds one entry per -updateworkers count (absent
+	// with -maintstorm=false).
+	MaintainerStorms []maintainerResult `json:"maintainer_storms,omitempty"`
+	// SpeedupMaintainerStorm is max-worker storm throughput over the
+	// 1-worker (serialized) run.
+	SpeedupMaintainerStorm float64 `json:"speedup_maintainer_storm,omitempty"`
+	// SalsaStorms holds one entry per -updateworkers count (absent with
+	// -salsa=false).
+	SalsaStorms       []salsaResult `json:"salsa_storms,omitempty"`
+	SpeedupSalsaStorm float64       `json:"speedup_salsa_storm,omitempty"`
+	// ConcurrentQueries is the queries-racing-arrivals profile (absent with
+	// -salsa=false or -queries 0).
+	ConcurrentQueries *concurrentQueryResult `json:"concurrent_queries,omitempty"`
 }
 
 func main() {
 	var (
-		n       = flag.Int("n", 100_000, "graph nodes")
-		d       = flag.Int("d", 10, "out-edges per node (preferential attachment)")
-		r       = flag.Int("r", 8, "walk segments per node (the paper's R)")
-		eps     = flag.Float64("eps", 0.2, "walk reset probability")
-		updates = flag.Int("updates", 20_000, "edge arrivals in the update storm")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		out     = flag.String("out", "BENCH_walkgen.json", "output JSON path ('' to skip)")
-		workers = flag.String("workers", "", "comma-separated worker counts (default 1,P/2,P)")
-		smoke   = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
-		mstorm  = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
-		dosalsa = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
-		queries = flag.Int("queries", 20, "personalized SALSA queries to profile")
-		qwalks  = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
+		n        = flag.Int("n", 100_000, "graph nodes")
+		d        = flag.Int("d", 10, "out-edges per node (preferential attachment)")
+		r        = flag.Int("r", 8, "walk segments per node (the paper's R)")
+		eps      = flag.Float64("eps", 0.2, "walk reset probability")
+		updates  = flag.Int("updates", 20_000, "edge arrivals in the update storm")
+		seed     = flag.Uint64("seed", 1, "RNG seed")
+		out      = flag.String("out", "BENCH_walkgen.json", "output JSON path ('' to skip)")
+		workers  = flag.String("workers", "", "comma-separated build worker counts (default 1,P/2,P)")
+		uworkers = flag.String("updateworkers", "", "comma-separated maintainer storm worker counts (default 1,max(4,P))")
+		smoke    = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
+		mstorm   = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
+		dosalsa  = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
+		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile")
+		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 	)
 	flag.Parse()
 	if *smoke {
@@ -139,9 +180,11 @@ func main() {
 	}
 
 	p := runtime.GOMAXPROCS(0)
-	counts := workerCounts(*workers, p)
+	counts := workerCounts(*workers, []int{1, p / 2, p})
+	ucounts := workerCounts(*uworkers, []int{1, max(4, p)})
 
-	fmt.Printf("benchwalk: building preferential-attachment graph n=%d d=%d (GOMAXPROCS=%d)\n", *n, *d, p)
+	fmt.Printf("benchwalk: building preferential-attachment graph n=%d d=%d (GOMAXPROCS=%d, NumCPU=%d)\n",
+		*n, *d, p, runtime.NumCPU())
 	rng := rand.New(rand.NewPCG(*seed, 0))
 	base := gen.PreferentialAttachment(*n, *d, rng)
 	nodes := base.Nodes()
@@ -151,6 +194,7 @@ func main() {
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   p,
+		NumCPU:       runtime.NumCPU(),
 		Nodes:        *n,
 		EdgesPerNode: *d,
 		GraphEdges:   base.NumEdges(),
@@ -175,21 +219,47 @@ func main() {
 	}
 
 	if *mstorm {
-		res := benchMaintainer(base, storm, *r, *eps, *seed)
-		rep.MaintainerStorm = &res
-		fmt.Printf("maintainer storm %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d)   store reads %d writes %d\n",
-			res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.FastSkips, res.EmptySkips, res.SlowPaths,
-			res.StoreReads, res.StoreWrites)
+		for _, uw := range ucounts {
+			res := benchMaintainer(base, storm, *r, *eps, *seed, uw)
+			rep.MaintainerStorms = append(rep.MaintainerStorms, res)
+			fmt.Printf("maintainer storm uw=%-2d %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d, noop %d)   store reads %d writes %d\n",
+				uw, res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.FastSkips, res.EmptySkips, res.SlowPaths,
+				res.SlowNoops, res.StoreReads, res.StoreWrites)
+		}
+		if s := rep.MaintainerStorms; len(s) > 1 && s[0].EdgesPerSec > 0 {
+			rep.SpeedupMaintainerStorm = s[len(s)-1].EdgesPerSec / s[0].EdgesPerSec
+			fmt.Printf("maintainer storm speedup %dw vs %dw: %.2fx\n",
+				s[len(s)-1].UpdateWorkers, s[0].UpdateWorkers, rep.SpeedupMaintainerStorm)
+		}
 	}
 
 	if *dosalsa {
-		res := benchSalsa(base, storm, *r, *eps, *seed, *queries, *qwalks)
-		rep.SalsaStorm = &res
-		fmt.Printf("salsa storm      %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived)\n",
-			res.StormSeconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived)
-		fmt.Printf("salsa queries    %d x %d walks: %.2fms/query, store calls mean %.0f max %d (Theorem 8 ceiling %.0f), %.0f segments stitched/query\n",
-			res.Queries, res.QueryWalks, res.MeanQueryMillis, res.MeanStoreCalls, res.MaxStoreCalls,
-			res.Theorem8Bound, res.MeanStitched)
+		for i, uw := range ucounts {
+			profile := 0
+			if i == len(ucounts)-1 {
+				profile = *queries // query profile once, on the final store
+			}
+			res := benchSalsa(base, storm, *r, *eps, *seed, profile, *qwalks, uw)
+			rep.SalsaStorms = append(rep.SalsaStorms, res)
+			fmt.Printf("salsa storm uw=%-2d      %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived, %d noop)\n",
+				uw, res.StormSeconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived, res.SlowNoops)
+			if profile > 0 {
+				fmt.Printf("salsa queries    %d x %d walks: %.2fms/query, store calls mean %.0f max %d (Theorem 8 ceiling %.0f), %.0f segments stitched/query\n",
+					res.Queries, res.QueryWalks, res.MeanQueryMillis, res.MeanStoreCalls, res.MaxStoreCalls,
+					res.Theorem8Bound, res.MeanStitched)
+			}
+		}
+		if s := rep.SalsaStorms; len(s) > 1 && s[0].EdgesPerSec > 0 {
+			rep.SpeedupSalsaStorm = s[len(s)-1].EdgesPerSec / s[0].EdgesPerSec
+			fmt.Printf("salsa storm speedup %dw vs %dw: %.2fx\n",
+				s[len(s)-1].UpdateWorkers, s[0].UpdateWorkers, rep.SpeedupSalsaStorm)
+		}
+		if *queries > 0 {
+			cq := benchConcurrentQueries(base, storm, *r, *eps, *seed, *queries, *qwalks, ucounts[len(ucounts)-1])
+			rep.ConcurrentQueries = &cq
+			fmt.Printf("concurrent queries (storm uw=%d): %d queries in flight, %.2fms/query, %.0f calls/query, %.0f epoch drift/query; storm %.0f edges/s\n",
+				cq.StormWorkers, cq.Queries, cq.MeanQueryMillis, cq.MeanStoreCalls, cq.MeanEpochDrift, cq.StormEdgesPerSec)
+		}
 	}
 
 	if *out != "" {
@@ -245,9 +315,9 @@ func benchOne(base *graph.Graph, nodes []graph.NodeID, storm []graph.Edge, r int
 // private clone of the graph, timing only the arrival loop. The metrics are
 // reset after bootstrap so the report isolates the incremental phase the
 // paper's cost analysis is about.
-func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64) maintainerResult {
+func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, uw int) maintainerResult {
 	soc := socialstore.New(base.Clone())
-	mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Seed: seed})
+	mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
 	mt.Bootstrap()
 	soc.ResetMetrics()
 
@@ -258,16 +328,18 @@ func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, 
 	c := mt.Counters()
 	met := soc.Metrics()
 	res := maintainerResult{
-		Seconds:     el.Seconds(),
-		Edges:       len(storm),
-		FastSkips:   c.FastSkips,
-		EmptySkips:  c.EmptySkips,
-		SlowPaths:   c.SlowPaths,
-		SkipRate:    c.SkipRate(),
-		Rerouted:    c.Rerouted,
-		Revived:     c.Revived,
-		StoreReads:  met.Reads,
-		StoreWrites: met.Writes,
+		UpdateWorkers: uw,
+		Seconds:       el.Seconds(),
+		Edges:         len(storm),
+		FastSkips:     c.FastSkips,
+		EmptySkips:    c.EmptySkips,
+		SlowPaths:     c.SlowPaths,
+		SlowNoops:     c.SlowNoops,
+		SkipRate:      c.SkipRate(),
+		Rerouted:      c.Rerouted,
+		Revived:       c.Revived,
+		StoreReads:    met.Reads,
+		StoreWrites:   met.Writes,
 	}
 	if s := el.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(len(storm)) / s
@@ -276,12 +348,12 @@ func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, 
 }
 
 // benchSalsa replays the storm through the SALSA maintainer on a private
-// clone, then profiles personalized queries from random sources: wall-clock
-// latency and the measured Social Store calls per query against the
-// Theorem 8 accounting ceiling.
-func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks int) salsaResult {
+// clone, then (when queries > 0) profiles personalized queries from random
+// sources: wall-clock latency and the measured Social Store calls per query
+// against the Theorem 8 accounting ceiling.
+func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int) salsaResult {
 	soc := socialstore.New(base.Clone())
-	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks})
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw})
 	t0 := time.Now()
 	mt.Bootstrap()
 	boot := time.Since(t0)
@@ -293,10 +365,12 @@ func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 
 	c := mt.Counters()
 	res := salsaResult{
+		UpdateWorkers:    uw,
 		BootstrapSeconds: boot.Seconds(),
 		StormSeconds:     storming.Seconds(),
 		Edges:            len(storm),
 		SkipRate:         c.SkipRate(),
+		SlowNoops:        c.SlowNoops,
 		Rerouted:         c.Rerouted,
 		Revived:          c.Revived,
 		Queries:          queries,
@@ -304,6 +378,9 @@ func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 	}
 	if s := storming.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(len(storm)) / s
+	}
+	if queries == 0 {
+		return res
 	}
 
 	rng := rand.New(rand.NewPCG(seed, 77))
@@ -323,10 +400,70 @@ func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 		}
 		res.Theorem8Bound = st.Theorem8Bound
 	}
-	if queries > 0 {
-		res.MeanQueryMillis = totalSec / float64(queries) * 1e3
-		res.MeanStoreCalls = float64(totalCalls) / float64(queries)
-		res.MeanStitched = float64(totalStitched) / float64(queries)
+	res.MeanQueryMillis = totalSec / float64(queries) * 1e3
+	res.MeanStoreCalls = float64(totalCalls) / float64(queries)
+	res.MeanStitched = float64(totalStitched) / float64(queries)
+	return res
+}
+
+// benchConcurrentQueries profiles the read-mostly query path under write
+// load: a parallel SALSA storm consumes arrivals while two query goroutines
+// issue personalized queries until the storm drains.
+func benchConcurrentQueries(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int) concurrentQueryResult {
+	soc := socialstore.New(base.Clone())
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw})
+	mt.Bootstrap()
+
+	const queriers = 2
+	res := concurrentQueryResult{StormWorkers: uw, Queriers: queriers, QueryWalks: qwalks}
+	nodes := soc.Graph().Nodes()
+	var mu sync.Mutex
+	var totalSec float64
+	var totalCalls, totalDrift int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for qr := 0; qr < queriers; qr++ {
+		wg.Add(1)
+		go func(qr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 88+uint64(qr)))
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if queries > 0 && i >= queries {
+					return
+				}
+				src := nodes[rng.IntN(len(nodes))]
+				tq := time.Now()
+				st := mt.Personalized(src).Stats()
+				el := time.Since(tq).Seconds()
+				mu.Lock()
+				res.Queries++
+				totalSec += el
+				totalCalls += st.StoreCalls
+				totalDrift += st.EndEpoch - st.StartEpoch
+				mu.Unlock()
+			}
+		}(qr)
+	}
+
+	t0 := time.Now()
+	mt.ApplyEdges(storm)
+	el := time.Since(t0)
+	close(done)
+	wg.Wait()
+
+	res.StormSeconds = el.Seconds()
+	if s := el.Seconds(); s > 0 {
+		res.StormEdgesPerSec = float64(len(storm)) / s
+	}
+	if res.Queries > 0 {
+		res.MeanQueryMillis = totalSec / float64(res.Queries) * 1e3
+		res.MeanStoreCalls = float64(totalCalls) / float64(res.Queries)
+		res.MeanEpochDrift = float64(totalDrift) / float64(res.Queries)
 	}
 	return res
 }
@@ -346,21 +483,21 @@ func updateStorm(n, m int, rng *rand.Rand) []graph.Edge {
 	return edges
 }
 
-// workerCounts parses -workers, defaulting to {1, P/2, P} deduplicated and
-// ascending.
-func workerCounts(s string, p int) []int {
+// workerCounts parses a comma-separated list, falling back to def,
+// deduplicated and ascending.
+func workerCounts(s string, def []int) []int {
 	var counts []int
 	if s != "" {
 		for _, part := range strings.Split(s, ",") {
 			w, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || w < 1 {
-				fmt.Fprintf(os.Stderr, "benchwalk: bad -workers entry %q\n", part)
+				fmt.Fprintf(os.Stderr, "benchwalk: bad worker-count entry %q\n", part)
 				os.Exit(2)
 			}
 			counts = append(counts, w)
 		}
 	} else {
-		counts = []int{1, p / 2, p}
+		counts = append(counts, def...)
 	}
 	slices.Sort(counts)
 	counts = slices.Compact(counts)

@@ -12,8 +12,12 @@
 // burst: up to Batch walkers advance together, one shard-grouped sampling
 // call per round, and finished bursts are flushed into the store through
 // AddBatch under a single lock acquisition. Edge updates stripe-lock on
-// SegmentID so two workers never reroute the same segment concurrently
-// while leaving unrelated segments fully parallel.
+// SegmentID (via the shared stripes package) so two workers never reroute
+// the same segment concurrently while leaving unrelated segments fully
+// parallel — the same per-segment serialization contract the maintainers'
+// parallel update paths rely on; see docs/DESIGN.md#6-concurrency-model
+// for the system-wide lock order and docs/DESIGN.md#1-data-flow for where
+// the engine sits in it.
 //
 // The engine is the throughput-oriented, approximately-serialized replay
 // used by benchmarks; pagerank.Maintainer layers the exactly-serialized,

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"fastppr/internal/graph"
+	"fastppr/internal/stripes"
 	"fastppr/internal/walk"
 	"fastppr/internal/walkstore"
 )
@@ -54,7 +55,7 @@ type Engine struct {
 	g     *graph.Graph
 	store *walkstore.Store
 	cfg   Config
-	segMu [updateStripes]sync.Mutex
+	segMu *stripes.MutexSet
 }
 
 // New returns an engine over g and store.
@@ -62,7 +63,7 @@ func New(g *graph.Graph, store *walkstore.Store, cfg Config) *Engine {
 	if cfg.Eps <= 0 || cfg.Eps > 1 {
 		panic("engine: Eps must be in (0, 1]")
 	}
-	return &Engine{g: g, store: store, cfg: cfg.withDefaults()}
+	return &Engine{g: g, store: store, cfg: cfg.withDefaults(), segMu: stripes.NewMutexSet(updateStripes)}
 }
 
 // Store returns the engine's walk store.
@@ -270,7 +271,7 @@ func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, tail *[]graph.NodeID, s
 	// probability 1-eps, and its only possible step is the new edge.
 	firstEdge := d == 1
 	for _, id := range e.store.Visitors(u) {
-		mu := &e.segMu[uint64(id)%updateStripes]
+		mu := e.segMu.Of(uint64(id))
 		mu.Lock()
 		// Re-read under the stripe lock: another worker may have rerouted
 		// this segment since Visitors ran.

@@ -2,7 +2,10 @@
 // iteration — the statistical ground truth every Monte Carlo component in
 // this repository is tested against. It has no counterpart in the paper's
 // system (the paper compares against exact PageRank computed offline, e.g.
-// Figure 2); here it is the oracle for the convergence tests.
+// Figure 2); here it is the oracle for the convergence tests
+// (docs/DESIGN.md#5-workload-substitution-no-twitter-data explains why the
+// tests converge against these solvers instead of published Twitter
+// numbers).
 //
 // PageRank is dangling-aware in the same sense as the walk semantics used
 // everywhere else in this repository: a reset-walk that reaches a node with

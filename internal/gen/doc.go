@@ -9,6 +9,7 @@
 // adversarially chosen edges arriving in random order) and, for the
 // personalized results, power-law score vectors. Preferential-attachment and
 // Chung–Lu graphs replayed in random order satisfy both, so every code path
-// the Twitter experiments exercised is exercised here; docs/DESIGN.md
-// records the substitution.
+// the Twitter experiments exercised is exercised here;
+// docs/DESIGN.md#5-workload-substitution-no-twitter-data records the
+// substitution.
 package gen

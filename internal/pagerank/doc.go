@@ -15,14 +15,23 @@
 // store counters and, on tails, skips the arrival without fetching a single
 // segment. The paper states the bound with W(u), the number of distinct
 // segments through u; this implementation uses the exact candidate count
-// K = X_u - T(u) (walkstore.Candidates), which the store tracks alongside
-// W(u) and which makes the skip lossless even when a segment revisits u or
-// ends there. On heads, the segment fetch is not followed by a second round
-// of naive coin flips: the reroute positions are sampled *conditioned on at
-// least one reroute* (truncated-geometric first success, independent flips
-// after), so estimates with the fast path enabled are drawn from exactly the
-// same distribution as with it disabled, and every non-skipped arrival
-// performs real work.
+// K = X_u - T(u) (walkstore.Candidates). On heads, the reroute positions
+// are sampled *conditioned on at least one reroute* (truncated-geometric
+// first success, independent flips after), so estimates with the fast path
+// enabled are drawn from exactly the same distribution as with it disabled,
+// and every non-skipped arrival performs real work — the argument is
+// docs/DESIGN.md#3-the-lossless-wv-fast-path.
+//
+// Updates run serialized by default (bitwise reproducible per seed) or
+// concurrently with Config.UpdateWorkers > 1: arrivals are serialized per
+// source stripe (out-degree only moves on arrivals from that source, so the
+// degree read stays exact), the affected segments are frozen under
+// SegmentID stripe locks before each repair scan, and the scan retries
+// against the frozen enumeration if cross-stripe interference moved the
+// candidate count — so SlowNoops == 0 survives parallelism, at the
+// documented price of per-seed reproducibility relaxing to distributional
+// equivalence. Lock order, stripe-consistency argument, and that relaxation
+// are docs/DESIGN.md#6-concurrency-model.
 //
 // All graph access on the update path — the edge write, the degree lookup,
 // and every step of regenerated walk tails — is routed through

@@ -11,6 +11,7 @@ import (
 	"fastppr/internal/graph"
 	"fastppr/internal/socialstore"
 	"fastppr/internal/stats"
+	"fastppr/internal/stripes"
 	"fastppr/internal/topk"
 	"fastppr/internal/walk"
 	"fastppr/internal/walkstore"
@@ -23,10 +24,17 @@ type Config struct {
 	// R is the number of stored segments per node (the paper's R).
 	R int
 	// Workers sizes the engine worker pool used by Bootstrap; 0 means
-	// GOMAXPROCS. The incremental update path itself is serialized.
+	// GOMAXPROCS.
 	Workers int
+	// UpdateWorkers sizes the pool ApplyEdges uses to consume a batch of
+	// arrivals concurrently under source- and segment-striped locks; 0 or 1
+	// keeps the fully serialized, per-seed-reproducible path. With more
+	// workers a fixed-seed run is reproducible only in distribution (see
+	// docs/DESIGN.md#6-concurrency-model); the skip coin stays lossless and
+	// SlowNoops == 0 either way.
+	UpdateWorkers int
 	// Seed seeds both the bootstrap walk generation and the update RNG, so a
-	// fixed-seed run is fully reproducible.
+	// fixed-seed serialized run is fully reproducible.
 	Seed uint64
 	// DisableFastPath turns the skip coin off: every arrival fetches the
 	// affected segments and flips per-step coins unconditionally. Estimates
@@ -58,20 +66,82 @@ func (c Counters) SkipRate() float64 {
 	return float64(c.FastSkips) / float64(c.Arrivals)
 }
 
+// counters is the maintainer's live accounting: atomics, so serialized and
+// parallel update paths share one implementation.
+type counters struct {
+	arrivals, fastSkips, emptySkips, slowPaths, slowNoops atomic.Int64
+	rerouted, revived, seeded, stepsIn, stepsOut          atomic.Int64
+	estimates                                             atomic.Int64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Arrivals:   c.arrivals.Load(),
+		FastSkips:  c.fastSkips.Load(),
+		EmptySkips: c.emptySkips.Load(),
+		SlowPaths:  c.slowPaths.Load(),
+		SlowNoops:  c.slowNoops.Load(),
+		Rerouted:   c.rerouted.Load(),
+		Revived:    c.revived.Load(),
+		Seeded:     c.seeded.Load(),
+		StepsIn:    c.stepsIn.Load(),
+		StepsOut:   c.stepsOut.Load(),
+		Estimates:  c.estimates.Load(),
+	}
+}
+
+const (
+	// sourceStripes serializes arrivals by source: a node's out-degree only
+	// moves on arrivals from that node, so one stripe lock makes the
+	// (AddEdge, OutDegree, repair) triple atomic per source.
+	sourceStripes = 256
+	// segmentStripes freezes the segments a repair scans, so the scan's
+	// candidate enumeration cannot shift underneath the pre-sampled
+	// first-switch index.
+	segmentStripes = 512
+)
+
+// updater is one update goroutine's private state: its RNG and reusable
+// buffers. The serialized path owns one; each parallel worker gets its own.
+type updater struct {
+	rng  *rand.Rand
+	tail []graph.NodeID
+	keys []uint64
+	idx  []int
+}
+
+func newUpdater(rng *rand.Rand) *updater { return &updater{rng: rng} }
+
+// lockSegments freezes the given segments under the maintainer's
+// SegmentID-stripe locks, acquiring stripe indices in ascending order
+// (deadlock-free across workers). Returns the held index set for unlock.
+func (w *updater) lockSegments(set *stripes.MutexSet, ids []walkstore.SegmentID) []int {
+	w.keys = w.keys[:0]
+	for _, id := range ids {
+		w.keys = append(w.keys, uint64(id))
+	}
+	w.idx = set.LockKeys(w.keys, w.idx)
+	return w.idx
+}
+
 // Maintainer serves PageRank estimates over a dynamic graph. Estimates may
-// be read concurrently with updates; updates themselves are serialized.
+// be read concurrently with updates; updates run serialized by default and
+// concurrently under striped locks with Config.UpdateWorkers > 1.
 type Maintainer struct {
 	soc   *socialstore.Store
 	walks *walkstore.Store
 	eng   *engine.Engine
 	cfg   Config
 
-	mu        sync.Mutex // serializes the update path and guards rng, known, c
-	rng       *rand.Rand
-	known     map[graph.NodeID]bool // nodes owning R segments
-	c         Counters
-	estimates atomic.Int64
-	tailBuf   []graph.NodeID
+	mu     sync.Mutex // serializes ApplyEdge and the serialized ApplyEdges path
+	serial *updater   // guarded by mu
+
+	knownMu sync.Mutex
+	known   map[graph.NodeID]bool // nodes owning R segments
+
+	srcMu *stripes.MutexSet
+	segMu *stripes.MutexSet
+	cnt   counters
 }
 
 // New returns a maintainer over the social store's graph with an empty walk
@@ -86,12 +156,14 @@ func New(soc *socialstore.Store, cfg Config) *Maintainer {
 		Eps: cfg.Eps, R: cfg.R, Workers: cfg.Workers, Seed: cfg.Seed,
 	})
 	return &Maintainer{
-		soc:   soc,
-		walks: walks,
-		eng:   eng,
-		cfg:   cfg,
-		rng:   rand.New(rand.NewPCG(cfg.Seed, 0x9a6e)),
-		known: make(map[graph.NodeID]bool),
+		soc:    soc,
+		walks:  walks,
+		eng:    eng,
+		cfg:    cfg,
+		serial: newUpdater(rand.New(rand.NewPCG(cfg.Seed, 0x9a6e))),
+		known:  make(map[graph.NodeID]bool),
+		srcMu:  stripes.NewMutexSet(sourceStripes),
+		segMu:  stripes.NewMutexSet(segmentStripes),
 	}
 }
 
@@ -111,56 +183,102 @@ func (m *Maintainer) Bootstrap() int64 {
 	defer m.mu.Unlock()
 	nodes := m.soc.Graph().Nodes()
 	steps := m.eng.BuildStore(nodes)
+	m.knownMu.Lock()
 	for _, v := range nodes {
 		m.known[v] = true
 	}
+	m.knownMu.Unlock()
 	return steps
 }
 
 // ApplyEdge consumes one edge arrival: it writes the edge through the social
 // store, repairs the affected stored walks (taking the fast path when the
 // skip coin allows), and seeds R fresh segments for any endpoint seen for
-// the first time.
+// the first time. Always serialized; use ApplyEdges with UpdateWorkers for
+// concurrent consumption.
 func (m *Maintainer) ApplyEdge(ed graph.Edge) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.applyLocked(ed)
+	m.applyOne(ed, m.serial)
 }
 
-// ApplyEdges consumes a stream of arrivals in order.
+// ApplyEdges consumes a batch of arrivals. With Config.UpdateWorkers <= 1
+// the arrivals are applied in order by one goroutine (fully reproducible per
+// seed); with more workers they are claimed from a shared cursor and applied
+// concurrently — arrivals from the same source stripe stay mutually ordered
+// by the stripe lock, everything else interleaves, and the result is
+// reproducible in distribution rather than per seed.
 func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
+	if m.cfg.UpdateWorkers > 1 {
+		m.applyParallel(edges, m.cfg.UpdateWorkers)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, ed := range edges {
-		m.applyLocked(ed)
+		m.applyOne(ed, m.serial)
 	}
 }
 
-func (m *Maintainer) applyLocked(ed graph.Edge) {
-	m.c.Arrivals++
+func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			w := newUpdater(rand.New(rand.NewPCG(m.cfg.Seed, 0x9a6e0000+uint64(wk))))
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(edges) {
+					break
+				}
+				m.applyOne(edges[i], w)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
+	m.cnt.arrivals.Add(1)
 	u, v := ed.From, ed.To
+	lk := m.srcMu.Of(uint64(u))
+	lk.Lock()
 	m.soc.AddEdge(u, v)
 	d := m.soc.OutDegree(u)
 	// Repair walks sampled before this edge existed, then seed new
 	// endpoints: freshly seeded walks already sample the new edge, so
 	// rerouting them too would over-weight it.
 	if d == 1 {
-		m.reviveLocked(u, v)
+		m.revive(u, v, w)
 	} else {
-		m.rerouteLocked(u, v, d)
+		m.reroute(u, v, d, w)
 	}
-	m.ensureNodeLocked(u)
-	m.ensureNodeLocked(v)
+	lk.Unlock()
+	m.ensureNode(u, w)
+	m.ensureNode(v, w)
 }
 
-// rerouteLocked repairs stored walks after u's out-degree rose to d >= 2:
-// every stored outgoing step from u independently switches to the new edge
-// with probability 1/d, and a switched segment keeps its prefix, steps to v,
-// and continues with a fresh geometric tail.
-func (m *Maintainer) rerouteLocked(u, v graph.NodeID, d int) {
+// reroute repairs stored walks after u's out-degree rose to d >= 2: every
+// stored outgoing step from u independently switches to the new edge with
+// probability 1/d, and a switched segment keeps its prefix, steps to v, and
+// continues with a fresh geometric tail.
+//
+// The skip coin flips against the stripe-consistent candidate counter; on
+// heads the first-switch index is pre-sampled (truncated geometric) and the
+// affected segments are frozen under SegmentID stripe locks before the scan.
+// Serialized, counter and frozen scan agree exactly. Under parallel
+// arrivals, a cross-stripe reroute can shift the candidate count between the
+// counter read and the freeze; the scan then retries against the frozen
+// enumeration, so a non-skipped arrival still always performs work
+// (SlowNoops == 0) and an emptied candidate set downgrades to EmptySkips.
+func (m *Maintainer) reroute(u, v graph.NodeID, d int, w *updater) {
 	k := m.walks.Candidates(u)
-	if k == 0 {
-		m.c.EmptySkips++
+	// <= 0: under parallel arrivals a cross-stripe mutation mid-index can
+	// transiently read the counter pair as negative; classify as empty.
+	if k <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
 	inv := 1.0 / float64(d)
@@ -169,37 +287,49 @@ func (m *Maintainer) rerouteLocked(u, v graph.NodeID, d int) {
 	// skip coin came up heads; -1 means flip every candidate unconditionally.
 	first := int64(-1)
 	if !m.cfg.DisableFastPath {
-		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
-			m.c.FastSkips++
+		if w.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.cnt.fastSkips.Add(1)
 			return
 		}
-		first = stats.TruncatedGeometric(m.rng, inv, k)
+		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	m.c.SlowPaths++
-	rerouted := int64(0)
+	ids := sortedVisitors(m.walks, u)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
+	for {
+		rerouted, seen := m.rerouteScan(ids, u, v, inv, first, w)
+		switch {
+		case rerouted > 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.rerouted.Add(rerouted)
+			return
+		case first < 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.slowNoops.Add(1)
+			return
+		case seen == 0:
+			m.cnt.emptySkips.Add(1)
+			return
+		}
+		first = stats.TruncatedGeometric(w.rng, inv, seen)
+	}
+}
+
+// rerouteScan runs one coin-flip pass over the frozen segments, returning
+// the number of reroutes performed and candidates enumerated.
+func (m *Maintainer) rerouteScan(ids []walkstore.SegmentID, u, v graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
 	idx := int64(0)
-	for _, id := range m.sortedVisitorsLocked(u) {
+	for _, id := range ids {
 		p := m.walks.Path(id) // stable: ReplaceTail relocates, never mutates
 		pos := -1
 		for i := 0; i < len(p)-1 && pos < 0; i++ {
 			if p[i] != u {
 				continue
 			}
-			var hit bool
-			switch {
-			case first < 0:
-				hit = m.rng.Float64() < inv
-			case idx < first:
-				hit = false
-			case idx == first:
-				hit = true
-			default:
-				hit = m.rng.Float64() < inv
-			}
-			idx++
-			if hit {
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
 				pos = i
 			}
+			idx++
 		}
 		if pos < 0 {
 			continue
@@ -212,98 +342,113 @@ func (m *Maintainer) rerouteLocked(u, v graph.NodeID, d int) {
 				idx++
 			}
 		}
-		m.redirectLocked(id, pos+1, v)
+		m.redirect(id, pos+1, v, w)
 		rerouted++
 	}
-	m.c.Rerouted += rerouted
-	if rerouted == 0 {
-		m.c.SlowNoops++
-	}
+	return rerouted, idx
 }
 
-// reviveLocked repairs stored walks after u gained its very first out-edge.
-// While u was dangling every walk reaching it died there, so all stored
-// visits to u are terminal; each such walk now continues with probability
-// 1-eps, necessarily through the new (only) edge.
-func (m *Maintainer) reviveLocked(u, v graph.NodeID) {
+// revive repairs stored walks after u gained its very first out-edge. While
+// u was dangling every walk reaching it died there, so all stored visits to
+// u are terminal; each such walk now continues with probability 1-eps,
+// necessarily through the new (only) edge. Same freeze-and-retry scheme as
+// reroute.
+func (m *Maintainer) revive(u, v graph.NodeID, w *updater) {
 	t := m.walks.Terminals(u)
-	if t == 0 {
-		m.c.EmptySkips++
+	if t <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
 	eps := m.cfg.Eps
 	first := int64(-1)
 	if !m.cfg.DisableFastPath {
-		if m.rng.Float64() < math.Pow(eps, float64(t)) {
-			m.c.FastSkips++
+		if w.rng.Float64() < math.Pow(eps, float64(t)) {
+			m.cnt.fastSkips.Add(1)
 			return
 		}
-		first = stats.TruncatedGeometric(m.rng, 1-eps, t)
+		first = stats.TruncatedGeometric(w.rng, 1-eps, t)
 	}
-	m.c.SlowPaths++
-	revived := int64(0)
+	ids := sortedVisitors(m.walks, u)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
+	for {
+		revived, seen := m.reviveScan(ids, u, v, eps, first, w)
+		switch {
+		case revived > 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.revived.Add(revived)
+			return
+		case first < 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.slowNoops.Add(1)
+			return
+		case seen == 0:
+			m.cnt.emptySkips.Add(1)
+			return
+		}
+		first = stats.TruncatedGeometric(w.rng, 1-eps, seen)
+	}
+}
+
+// reviveScan runs one continuation pass over the frozen segments, returning
+// the number of revivals performed and terminals enumerated.
+func (m *Maintainer) reviveScan(ids []walkstore.SegmentID, u, v graph.NodeID, eps float64, first int64, w *updater) (revived, seen int64) {
 	idx := int64(0)
-	for _, id := range m.sortedVisitorsLocked(u) {
+	for _, id := range ids {
 		p := m.walks.Path(id)
 		if p[len(p)-1] != u {
 			continue // not a terminal visit; impossible while u was dangling
 		}
-		var cont bool
-		switch {
-		case first < 0:
-			cont = m.rng.Float64() >= eps
-		case idx < first:
-			cont = false
-		case idx == first:
-			cont = true
-		default:
-			cont = m.rng.Float64() >= eps
-		}
+		cont := stats.FirstSuccessHit(w.rng, first, idx, 1-eps)
 		idx++
 		if !cont {
 			continue
 		}
-		m.redirectLocked(id, len(p), v)
+		m.redirect(id, len(p), v, w)
 		revived++
 	}
-	m.c.Revived += revived
-	if revived == 0 {
-		m.c.SlowNoops++
-	}
+	return revived, idx
 }
 
-// redirectLocked truncates segment id to keep nodes, steps it to v, and
-// extends it with a fresh geometric tail sampled through the social store.
-func (m *Maintainer) redirectLocked(id walkstore.SegmentID, keep int, v graph.NodeID) {
-	m.tailBuf = append(m.tailBuf[:0], v)
-	m.tailBuf = walk.AppendContinue(m.soc, v, m.cfg.Eps, m.rng, m.tailBuf)
-	removed, added := m.walks.ReplaceTail(id, keep, m.tailBuf)
-	m.c.StepsOut += int64(removed)
-	m.c.StepsIn += int64(added)
+// redirect truncates segment id to keep nodes, steps it to v, and extends it
+// with a fresh geometric tail sampled through the social store. Callers hold
+// the segment's stripe lock.
+func (m *Maintainer) redirect(id walkstore.SegmentID, keep int, v graph.NodeID, w *updater) {
+	w.tail = append(w.tail[:0], v)
+	w.tail = walk.AppendContinue(m.soc, v, m.cfg.Eps, w.rng, w.tail)
+	removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+	m.cnt.stepsOut.Add(int64(removed))
+	m.cnt.stepsIn.Add(int64(added))
 }
 
-// ensureNodeLocked seeds R fresh segments for a node first seen mid-stream,
-// preserving the invariant that every known node owns R walks.
-func (m *Maintainer) ensureNodeLocked(v graph.NodeID) {
+// ensureNode seeds R fresh segments for a node first seen mid-stream,
+// preserving the invariant that every known node owns R walks. The claim is
+// made under knownMu so exactly one arrival seeds a node; the walks
+// themselves are sampled outside the lock.
+func (m *Maintainer) ensureNode(v graph.NodeID, w *updater) {
+	m.knownMu.Lock()
 	if m.known[v] {
+		m.knownMu.Unlock()
 		return
 	}
 	m.known[v] = true
+	m.knownMu.Unlock()
 	paths := make([][]graph.NodeID, m.cfg.R)
 	for i := range paths {
-		seg := walk.PageRank(m.soc, v, m.cfg.Eps, m.rng)
+		seg := walk.PageRank(m.soc, v, m.cfg.Eps, w.rng)
 		paths[i] = seg.Path
-		m.c.StepsIn += int64(len(seg.Path))
+		m.cnt.stepsIn.Add(int64(len(seg.Path)))
 	}
 	m.walks.AddBatch(paths)
-	m.c.Seeded += int64(len(paths))
+	m.cnt.seeded.Add(int64(len(paths)))
 }
 
-// sortedVisitorsLocked returns the segments visiting u in ascending ID
-// order, making a fixed-seed run reproducible regardless of the visitor
-// set's internal representation.
-func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID {
-	ids := m.walks.Visitors(u)
+// sortedVisitors returns the segments visiting u in ascending ID order,
+// making a fixed-seed serialized run reproducible regardless of the visitor
+// set's internal representation — and giving every worker one canonical
+// enumeration order to draw first-switch indices over.
+func sortedVisitors(walks *walkstore.Store, u graph.NodeID) []walkstore.SegmentID {
+	ids := walks.Visitors(u)
 	slices.Sort(ids)
 	return ids
 }
@@ -311,10 +456,11 @@ func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID 
 // Estimate returns the PageRank estimate of v: X_v / TotalVisits, the
 // dangling-robust normalization of the paper's eps·X_v/(nR) (identical on
 // dangling-free graphs, where E[TotalVisits] = nR/eps). Safe to call
-// concurrently with updates: numerator and denominator are read under one
-// store lock, so the ratio always reflects a real store state.
+// concurrently with updates: the numerator is read under v's counter stripe
+// and the denominator atomically, so the ratio's skew is bounded by the
+// mutations in flight.
 func (m *Maintainer) Estimate(v graph.NodeID) float64 {
-	m.estimates.Add(1)
+	m.cnt.estimates.Add(1)
 	m.soc.CountFetch()
 	visits, total := m.walks.VisitFraction(v)
 	if total == 0 {
@@ -323,10 +469,10 @@ func (m *Maintainer) Estimate(v graph.NodeID) float64 {
 	return float64(visits) / float64(total)
 }
 
-// snapshot fetches the visit-count table once (a single store lock) and its
-// sum, recording the serve against both accounting layers.
+// snapshot fetches the visit-count table once (per-stripe consistent) and
+// its sum, recording the serve against both accounting layers.
 func (m *Maintainer) snapshot() (map[graph.NodeID]int64, int64) {
-	m.estimates.Add(1)
+	m.cnt.estimates.Add(1)
 	m.soc.CountFetch()
 	counts := m.walks.VisitCounts()
 	var total int64
@@ -336,8 +482,8 @@ func (m *Maintainer) snapshot() (map[graph.NodeID]int64, int64) {
 	return counts, total
 }
 
-// ApproxAll returns the full estimate vector as one consistent snapshot.
-// Nodes never visited by any stored walk are absent.
+// ApproxAll returns the full estimate vector as one snapshot. Nodes never
+// visited by any stored walk are absent.
 func (m *Maintainer) ApproxAll() map[graph.NodeID]float64 {
 	counts, total := m.snapshot()
 	scores := make(map[graph.NodeID]float64, len(counts))
@@ -366,9 +512,5 @@ func (m *Maintainer) TopK(k int) []topk.Item {
 
 // Counters returns a snapshot of the update-path accounting.
 func (m *Maintainer) Counters() Counters {
-	m.mu.Lock()
-	c := m.c
-	m.mu.Unlock()
-	c.Estimates = m.estimates.Load()
-	return c
+	return m.cnt.snapshot()
 }

@@ -1,0 +1,149 @@
+package pagerank
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"fastppr/internal/exact"
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/socialstore"
+)
+
+// TestParallelStormConvergesToOracle is the parallel analogue of the
+// incremental correctness test: the same half-graph stream consumed with
+// UpdateWorkers=4 must converge to the exact power-iteration oracle on the
+// final graph, keep the lossless-fast-path invariant (SlowNoops == 0), and
+// leave the striped store internally consistent.
+func TestParallelStormConvergesToOracle(t *testing.T) {
+	n, r := 150, 50
+	if testing.Short() {
+		n, r = 90, 30
+	}
+	const eps = 0.2
+	rng := rand.New(rand.NewPCG(141, 0))
+	full := gen.PreferentialAttachment(n, 4, rng)
+	stream := gen.RandomPermutationStream(full, rng)
+	prefix, suffix := gen.SplitStream(stream, 0.5)
+
+	g := gen.BuildFromStream(prefix)
+	for i := 0; i < n; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	soc := socialstore.New(g)
+	mt := New(soc, Config{Eps: eps, R: r, Workers: 2, UpdateWorkers: 4, Seed: 142})
+	mt.Bootstrap()
+	mt.ApplyEdges(suffix)
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := mt.Counters()
+	if c.Arrivals != int64(len(suffix)) {
+		t.Fatalf("arrivals=%d want %d", c.Arrivals, len(suffix))
+	}
+	if c.FastSkips+c.EmptySkips+c.SlowPaths != c.Arrivals {
+		t.Fatalf("phase counters do not partition arrivals: %+v", c)
+	}
+	if c.SlowNoops != 0 {
+		t.Fatalf("parallel storm recorded %d no-op slow paths", c.SlowNoops)
+	}
+	if c.Rerouted+c.Revived == 0 {
+		t.Fatal("parallel storm perturbed no stored walks")
+	}
+
+	pi := exact.PageRank(soc.Graph(), eps, 1e-11)
+	if d := exact.L1(mt.ApproxAll(), pi); d > 0.2 {
+		t.Fatalf("parallel-storm L1 vs oracle=%v", d)
+	}
+}
+
+// TestParallelSeedsNewNodes replays a full graph edge by edge into an empty
+// maintainer with 4 update workers: the knownMu claim must seed every node
+// exactly once even when both endpoints of many edges race.
+func TestParallelSeedsNewNodes(t *testing.T) {
+	n, r := 120, 20
+	if testing.Short() {
+		n, r = 80, 12
+	}
+	rng := rand.New(rand.NewPCG(151, 0))
+	base := gen.PreferentialAttachment(n, 4, rng)
+	stream := gen.RandomPermutationStream(base, rng)
+
+	soc := socialstore.New(graph.New(0))
+	mt := New(soc, Config{Eps: 0.2, R: r, UpdateWorkers: 4, Seed: 152})
+	mt.Bootstrap()
+	mt.ApplyEdges(stream)
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := soc.Graph().Nodes()
+	if len(nodes) != n {
+		t.Fatalf("replayed graph has %d nodes, want %d", len(nodes), n)
+	}
+	for _, v := range nodes {
+		if got := len(mt.Store().OwnedBy(v)); got != r {
+			t.Fatalf("node %d owns %d segments, want %d", v, got, r)
+		}
+	}
+	if c := mt.Counters(); c.Seeded != int64(n*r) {
+		t.Fatalf("seeded %d segments, want %d", c.Seeded, n*r)
+	}
+}
+
+// TestEstimatesDuringParallelStorm races Estimate/TopK readers against a
+// parallel storm under -race: reads must stay well-formed (finite, in
+// [0, 1]) while arrivals land.
+func TestEstimatesDuringParallelStorm(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 200
+	}
+	rng := rand.New(rand.NewPCG(161, 0))
+	base := gen.PreferentialAttachment(n, 5, rng)
+	soc := socialstore.New(base)
+	mt := New(soc, Config{Eps: 0.2, R: 4, UpdateWorkers: 4, Seed: 162})
+	mt.Bootstrap()
+
+	storm := make([]graph.Edge, 0, 3000)
+	for len(storm) < cap(storm) {
+		u := graph.NodeID(rng.IntN(n))
+		v := graph.NodeID(rng.IntN(n))
+		if u != v {
+			storm = append(storm, graph.Edge{From: u, To: v})
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewPCG(163, uint64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := graph.NodeID(r.IntN(n))
+				if e := mt.Estimate(v); e < 0 || e > 1 {
+					t.Errorf("Estimate(%d)=%v out of range", v, e)
+					return
+				}
+				mt.TopK(5)
+			}
+		}(i)
+	}
+	mt.ApplyEdges(storm)
+	close(stop)
+	wg.Wait()
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := mt.Counters(); c.SlowNoops != 0 {
+		t.Fatalf("storm with concurrent reads recorded %d no-op slow paths", c.SlowNoops)
+	}
+}

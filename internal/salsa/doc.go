@@ -32,13 +32,23 @@
 //
 // A switched or revived segment keeps its prefix and regrows an alternating
 // tail through the call-accounted Social Store (walk.AppendContinueSalsa).
-// Both phases use the PageRank maintainer's lossless fast path: one coin
-// against (1-1/d)^k with the exact sided candidate count k decides whether
-// anything changes, and on heads the first switch position is drawn
-// truncated-geometrically, so the fast path never alters the estimate
-// distribution and SlowNoops == 0 is an invariant. The backward phase
-// excludes positions the forward phase just regenerated — those steps were
-// sampled on the graph that already contains the new edge.
+// Both phases use the lossless fast path
+// (docs/DESIGN.md#3-the-lossless-wv-fast-path): one coin against (1-1/d)^k
+// with the exact sided candidate count k decides whether anything changes,
+// and on heads the first switch position is drawn truncated-geometrically,
+// so SlowNoops == 0 is an invariant. The backward phase excludes positions
+// the forward phase just regenerated — those steps were sampled on the graph
+// that already contains the new edge.
+//
+// Updates run serialized by default or concurrently with
+// Config.UpdateWorkers > 1: an arrival locks its (source, target) endpoint
+// stripe pair in index order — out-degree moves only on arrivals from the
+// source and in-degree only on arrivals to the target, so both degree reads
+// stay exact — and each repair phase freezes its segments under SegmentID
+// stripe locks, retrying against the frozen enumeration when cross-stripe
+// interference moved a counter. Per-seed reproducibility relaxes to
+// distributional equivalence, argued in
+// docs/DESIGN.md#6-concurrency-model.
 //
 // # Personalized queries
 //
@@ -48,7 +58,12 @@
 // reset law — finishes right there, for zero round trips; only when w's
 // segments are exhausted does it take bare single steps through
 // socialstore. Each stored segment is used at most once per query, keeping
-// the walks independent. The measured store calls per query are reported in
-// QueryStats next to the Theorem8Bound accounting ceiling, and tests assert
-// measured <= bound.
+// the walks independent. Queries are read-mostly and run concurrently with
+// updates and each other: spliced paths are the store's stable arena
+// slices, per-node segment lists are per-query snapshots, the store's
+// mutation epoch is stamped into QueryStats, and the measured store calls
+// come from a per-query socialstore.Session — so StoreCalls == BareSteps
+// and the Theorem8Bound ceiling
+// (docs/DESIGN.md#4-the-theorem-8-accounting-model) are asserted even under
+// a live parallel storm.
 package salsa

@@ -11,6 +11,7 @@ import (
 	"fastppr/internal/graph"
 	"fastppr/internal/socialstore"
 	"fastppr/internal/stats"
+	"fastppr/internal/stripes"
 	"fastppr/internal/topk"
 	"fastppr/internal/walk"
 	"fastppr/internal/walkstore"
@@ -25,12 +26,18 @@ type Config struct {
 	// every node owns R forward-first (hub-start) and R backward-first
 	// (authority-start) walks.
 	R int
-	// Workers sizes the Bootstrap worker pool; 0 means GOMAXPROCS. The
-	// incremental update path and queries are serialized.
+	// Workers sizes the Bootstrap worker pool; 0 means GOMAXPROCS.
 	Workers int
-	// Seed seeds bootstrap walk generation and the update/query RNG. Walk
-	// contents are chunk-deterministic for any worker count; with Workers=1
-	// a run is fully reproducible including segment IDs.
+	// UpdateWorkers sizes the pool ApplyEdges uses to consume arrivals
+	// concurrently under (source, target) stripe-pair locks; 0 or 1 keeps
+	// the fully serialized, per-seed-reproducible path. See
+	// docs/DESIGN.md#6-concurrency-model for the relaxation to
+	// distributional reproducibility.
+	UpdateWorkers int
+	// Seed seeds bootstrap walk generation, the update RNG, and the
+	// per-query RNG streams. Walk contents are chunk-deterministic for any
+	// worker count; with Workers=1 and UpdateWorkers<=1 a run is fully
+	// reproducible including segment IDs.
 	Seed uint64
 	// QueryWalks is the number of Monte Carlo walks a personalized query
 	// runs; 0 means 1024.
@@ -75,25 +82,84 @@ func (c Counters) SkipRate() float64 {
 	return float64(c.FastSkips) / float64(2*c.Arrivals)
 }
 
+// counters is the live atomic accounting shared by the serialized and
+// parallel update paths and the concurrent query layer.
+type counters struct {
+	arrivals, fastSkips, emptySkips, slowPaths, slowNoops atomic.Int64
+	rerouted, revived, seeded, stepsIn, stepsOut          atomic.Int64
+	queries                                               atomic.Int64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Arrivals:   c.arrivals.Load(),
+		FastSkips:  c.fastSkips.Load(),
+		EmptySkips: c.emptySkips.Load(),
+		SlowPaths:  c.slowPaths.Load(),
+		SlowNoops:  c.slowNoops.Load(),
+		Rerouted:   c.rerouted.Load(),
+		Revived:    c.revived.Load(),
+		Seeded:     c.seeded.Load(),
+		StepsIn:    c.stepsIn.Load(),
+		StepsOut:   c.stepsOut.Load(),
+		Queries:    c.queries.Load(),
+	}
+}
+
+const (
+	// endpointStripes serializes arrivals by endpoint: out-degree moves only
+	// on arrivals from a source, in-degree only on arrivals to a target, so
+	// locking the (source, target) stripe pair makes both degree reads and
+	// both repair phases atomic per endpoint.
+	endpointStripes = 256
+	// segmentStripes freezes the segments a repair phase scans.
+	segmentStripes = 512
+)
+
+// updater is one update goroutine's private state: RNG, reusable buffers,
+// and the per-arrival touched map (segments whose tail this arrival already
+// regenerated; the backward phase must not flip coins on freshly sampled
+// steps).
+type updater struct {
+	rng     *rand.Rand
+	tail    []graph.NodeID
+	keys    []uint64
+	idx     []int
+	touched map[walkstore.SegmentID]int // id -> first fresh path position
+}
+
+func newUpdater(rng *rand.Rand) *updater {
+	return &updater{rng: rng, touched: make(map[walkstore.SegmentID]int)}
+}
+
+func (w *updater) lockSegments(set *stripes.MutexSet, ids []walkstore.SegmentID) []int {
+	w.keys = w.keys[:0]
+	for _, id := range ids {
+		w.keys = append(w.keys, uint64(id))
+	}
+	w.idx = set.LockKeys(w.keys, w.idx)
+	return w.idx
+}
+
 // Maintainer keeps R alternating walk segments per node per side fresh under
 // an edge stream and serves global and personalized SALSA scores from them.
-// Global reads may run concurrently with updates; updates and personalized
-// queries are serialized.
+// Global reads and personalized queries may run concurrently with updates;
+// updates run serialized by default and concurrently under striped locks
+// with Config.UpdateWorkers > 1.
 type Maintainer struct {
 	soc   *socialstore.Store
 	walks *walkstore.Store
 	cfg   Config
 
-	mu      sync.Mutex // serializes updates and queries; guards rng, known, c
-	rng     *rand.Rand
+	mu     sync.Mutex // serializes ApplyEdge and the serialized ApplyEdges path
+	serial *updater   // guarded by mu
+
+	knownMu sync.Mutex
 	known   map[graph.NodeID]bool // nodes owning their 2R segments
-	c       Counters
-	tailBuf []graph.NodeID
-	// touched records, per arrival, the segments whose tail this arrival
-	// already regenerated (id -> first fresh path position). The backward
-	// repair phase must not flip coins on freshly sampled steps: they were
-	// drawn on the graph that already contains the new edge.
-	touched map[walkstore.SegmentID]int
+
+	endMu *stripes.MutexSet
+	segMu *stripes.MutexSet
+	cnt   counters
 }
 
 // New returns a maintainer over the social store's graph with an empty walk
@@ -107,12 +173,13 @@ func New(soc *socialstore.Store, cfg Config) *Maintainer {
 		cfg.R = 1
 	}
 	return &Maintainer{
-		soc:     soc,
-		walks:   walkstore.New(),
-		cfg:     cfg,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x5a15a)),
-		known:   make(map[graph.NodeID]bool),
-		touched: make(map[walkstore.SegmentID]int),
+		soc:    soc,
+		walks:  walkstore.New(),
+		cfg:    cfg,
+		serial: newUpdater(rand.New(rand.NewPCG(cfg.Seed, 0x5a15a))),
+		known:  make(map[graph.NodeID]bool),
+		endMu:  stripes.NewMutexSet(endpointStripes),
+		segMu:  stripes.NewMutexSet(segmentStripes),
 	}
 }
 
@@ -174,9 +241,11 @@ func (m *Maintainer) Bootstrap() int64 {
 		}()
 	}
 	wg.Wait()
+	m.knownMu.Lock()
 	for _, v := range nodes {
 		m.known[v] = true
 	}
+	m.knownMu.Unlock()
 	return steps.Load()
 }
 
@@ -184,57 +253,101 @@ func (m *Maintainer) Bootstrap() int64 {
 // store, repairs the stored walks whose forward steps leave the source or
 // whose backward steps leave the target (the paper's reroute rule adapted to
 // bipartite alternation), and seeds 2R fresh segments for any endpoint seen
-// for the first time.
+// for the first time. Always serialized; use ApplyEdges with UpdateWorkers
+// for concurrent consumption.
 func (m *Maintainer) ApplyEdge(ed graph.Edge) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.applyLocked(ed)
+	m.applyOne(ed, m.serial)
 }
 
-// ApplyEdges consumes a stream of arrivals in order.
+// ApplyEdges consumes a batch of arrivals. With Config.UpdateWorkers <= 1
+// they are applied in order by one goroutine; with more workers they are
+// claimed from a shared cursor and applied concurrently — arrivals sharing a
+// source or target stripe stay mutually ordered by the stripe-pair locks,
+// and the result is reproducible in distribution rather than per seed.
 func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
+	if m.cfg.UpdateWorkers > 1 {
+		m.applyParallel(edges, m.cfg.UpdateWorkers)
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, ed := range edges {
-		m.applyLocked(ed)
+		m.applyOne(ed, m.serial)
 	}
 }
 
-func (m *Maintainer) applyLocked(ed graph.Edge) {
-	m.c.Arrivals++
+func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			w := newUpdater(rand.New(rand.NewPCG(m.cfg.Seed, 0x5a15a0000+uint64(wk))))
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(edges) {
+					break
+				}
+				m.applyOne(edges[i], w)
+			}
+		}(wk)
+	}
+	wg.Wait()
+}
+
+func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
+	m.cnt.arrivals.Add(1)
 	u, v := ed.From, ed.To
+	// One arrival holds its source and target endpoint stripes for both
+	// repair phases: out-degree moves only on arrivals from u and in-degree
+	// only on arrivals to v, so both degree reads stay exact, and the
+	// forward-then-backward phase pair of one arrival never interleaves with
+	// another arrival sharing an endpoint stripe. Source-role and
+	// target-role keys are kept in disjoint key spaces (2u vs 2v+1) so an
+	// arrival from a node does not falsely serialize with one into it.
+	li, lj := m.endMu.LockPair(2*uint64(u), 2*uint64(v)+1)
 	m.soc.AddEdge(u, v)
 	dout := m.soc.OutDegree(u)
 	din := m.soc.InDegree(v)
-	clear(m.touched)
+	clear(w.touched)
 	// Forward phase: stored forward steps from u now have a d-th choice.
 	if dout == 1 {
-		m.reviveForwardLocked(u, v)
+		m.reviveForward(u, v, w)
 	} else {
-		m.rerouteForwardLocked(u, v, dout)
+		m.rerouteForward(u, v, dout, w)
 	}
 	// Backward phase: stored backward steps from v now have a d-th choice.
 	// Runs after the forward phase so it can exclude the positions that
 	// phase just regenerated (they already sampled the new edge).
 	if din == 1 {
-		m.reviveBackwardLocked(v, u)
+		m.reviveBackward(v, u, w)
 	} else {
-		m.rerouteBackwardLocked(v, u, din)
+		m.rerouteBackward(v, u, din, w)
 	}
+	m.endMu.UnlockPair(li, lj)
 	// Seed new endpoints last: freshly seeded walks already sample the new
 	// edge, so repairing them too would over-weight it.
-	m.ensureNodeLocked(u)
-	m.ensureNodeLocked(v)
+	m.ensureNode(u, w)
+	m.ensureNode(v, w)
 }
 
-// rerouteForwardLocked repairs stored walks after u's out-degree rose to
-// d >= 2: every stored forward step from u independently switches to the new
-// edge with probability 1/d; a switched segment keeps its prefix, steps to
-// v, and continues with a fresh alternating tail (backward next).
-func (m *Maintainer) rerouteForwardLocked(u, v graph.NodeID, d int) {
+// rerouteForward repairs stored walks after u's out-degree rose to d >= 2:
+// every stored forward step from u independently switches to the new edge
+// with probability 1/d; a switched segment keeps its prefix, steps to v, and
+// continues with a fresh alternating tail (backward next). The skip coin
+// flips against the stripe-consistent sided candidate counter; the scan runs
+// over segments frozen under SegmentID stripe locks and retries against the
+// frozen enumeration if cross-stripe interference shifted the count, so
+// SlowNoops == 0 holds under parallel arrivals too.
+func (m *Maintainer) rerouteForward(u, v graph.NodeID, d int, w *updater) {
 	k := m.walks.PendingCandidates(u, walkstore.SideForward)
-	if k == 0 {
-		m.c.EmptySkips++
+	// <= 0: under parallel arrivals a cross-stripe mutation mid-index can
+	// transiently read the counter pair as negative; classify as empty.
+	if k <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
 	inv := 1.0 / float64(d)
@@ -243,16 +356,39 @@ func (m *Maintainer) rerouteForwardLocked(u, v graph.NodeID, d int) {
 	// came up heads; -1 means flip every candidate unconditionally.
 	first := int64(-1)
 	if !m.cfg.DisableFastPath {
-		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
-			m.c.FastSkips++
+		if w.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.cnt.fastSkips.Add(1)
 			return
 		}
-		first = stats.TruncatedGeometric(m.rng, inv, k)
+		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	m.c.SlowPaths++
-	rerouted := int64(0)
+	ids := sortedVisitors(m.walks, u)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
+	for {
+		rerouted, seen := m.forwardScan(ids, u, v, inv, first, w)
+		switch {
+		case rerouted > 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.rerouted.Add(rerouted)
+			return
+		case first < 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.slowNoops.Add(1)
+			return
+		case seen == 0:
+			m.cnt.emptySkips.Add(1)
+			return
+		}
+		first = stats.TruncatedGeometric(w.rng, inv, seen)
+	}
+}
+
+// forwardScan runs one coin-flip pass over the frozen segments' forward
+// steps from u, returning reroutes performed and candidates enumerated.
+func (m *Maintainer) forwardScan(ids []walkstore.SegmentID, u, v graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
 	idx := int64(0)
-	for _, id := range m.sortedVisitorsLocked(u) {
+	for _, id := range ids {
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id) // stable: ReplaceTail relocates, never mutates
 		pos := -1
@@ -260,7 +396,7 @@ func (m *Maintainer) rerouteForwardLocked(u, v graph.NodeID, d int) {
 			if p[i] != u || side.PendingAt(i) != walkstore.SideForward {
 				continue
 			}
-			if m.candidateHit(first, idx, inv) {
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
 				pos = i
 			}
 			idx++
@@ -276,70 +412,84 @@ func (m *Maintainer) rerouteForwardLocked(u, v graph.NodeID, d int) {
 				idx++
 			}
 		}
-		m.redirectLocked(id, pos+1, v, walk.Backward)
-		m.touched[id] = pos + 1
+		m.redirect(id, pos+1, v, walk.Backward, w)
+		w.touched[id] = pos + 1
 		rerouted++
 	}
-	m.c.Rerouted += rerouted
-	if rerouted == 0 {
-		m.c.SlowNoops++
-	}
+	return rerouted, idx
 }
 
-// reviveForwardLocked repairs stored walks after u gained its very first
-// out-edge. While u had no out-edges every walk pausing there before a
-// forward step ended — by the reset coin with probability eps, by the
-// missing edge otherwise — so each stored forward-pending terminal at u now
-// continues with probability 1-eps, necessarily through the new edge.
-func (m *Maintainer) reviveForwardLocked(u, v graph.NodeID) {
+// reviveForward repairs stored walks after u gained its very first out-edge.
+// While u had no out-edges every walk pausing there before a forward step
+// ended — by the reset coin with probability eps, by the missing edge
+// otherwise — so each stored forward-pending terminal at u now continues
+// with probability 1-eps, necessarily through the new edge.
+func (m *Maintainer) reviveForward(u, v graph.NodeID, w *updater) {
 	t := m.walks.PendingTerminals(u, walkstore.SideForward)
-	if t == 0 {
-		m.c.EmptySkips++
+	if t <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
 	eps := m.cfg.Eps
 	first := int64(-1)
 	if !m.cfg.DisableFastPath {
-		if m.rng.Float64() < math.Pow(eps, float64(t)) {
-			m.c.FastSkips++
+		if w.rng.Float64() < math.Pow(eps, float64(t)) {
+			m.cnt.fastSkips.Add(1)
 			return
 		}
-		first = stats.TruncatedGeometric(m.rng, 1-eps, t)
+		first = stats.TruncatedGeometric(w.rng, 1-eps, t)
 	}
-	m.c.SlowPaths++
-	revived := int64(0)
+	ids := sortedVisitors(m.walks, u)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
+	for {
+		revived, seen := m.reviveForwardScan(ids, u, v, eps, first, w)
+		switch {
+		case revived > 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.revived.Add(revived)
+			return
+		case first < 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.slowNoops.Add(1)
+			return
+		case seen == 0:
+			m.cnt.emptySkips.Add(1)
+			return
+		}
+		first = stats.TruncatedGeometric(w.rng, 1-eps, seen)
+	}
+}
+
+func (m *Maintainer) reviveForwardScan(ids []walkstore.SegmentID, u, v graph.NodeID, eps float64, first int64, w *updater) (revived, seen int64) {
 	idx := int64(0)
-	for _, id := range m.sortedVisitorsLocked(u) {
+	for _, id := range ids {
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		last := len(p) - 1
 		if p[last] != u || side.PendingAt(last) != walkstore.SideForward {
 			continue
 		}
-		cont := m.candidateHit(first, idx, 1-eps)
+		cont := stats.FirstSuccessHit(w.rng, first, idx, 1-eps)
 		idx++
 		if !cont {
 			continue
 		}
-		m.redirectLocked(id, len(p), v, walk.Backward)
-		m.touched[id] = len(p)
+		m.redirect(id, len(p), v, walk.Backward, w)
+		w.touched[id] = len(p)
 		revived++
 	}
-	m.c.Revived += revived
-	if revived == 0 {
-		m.c.SlowNoops++
-	}
+	return revived, idx
 }
 
-// rerouteBackwardLocked repairs stored walks after v's in-degree rose to
-// d >= 2: every stored backward step from v independently switches to the
-// new in-neighbor u with probability 1/d. Only steps stored before this
-// arrival participate: positions the forward phase just regenerated were
-// sampled on the new graph and are excluded from both the skip-coin exponent
-// and the scan.
-func (m *Maintainer) rerouteBackwardLocked(v, u graph.NodeID, d int) {
+// rerouteBackward repairs stored walks after v's in-degree rose to d >= 2:
+// every stored backward step from v switches to the new in-neighbor u with
+// probability 1/d. Only steps stored before this arrival participate:
+// positions the forward phase just regenerated were sampled on the new graph
+// and are excluded from both the skip-coin exponent and the scan.
+func (m *Maintainer) rerouteBackward(v, u graph.NodeID, d int, w *updater) {
 	k := m.walks.PendingCandidates(v, walkstore.SideBackward)
-	for id, keep := range m.touched {
+	for id, keep := range w.touched {
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		for i := keep; i < len(p)-1; i++ {
@@ -348,27 +498,48 @@ func (m *Maintainer) rerouteBackwardLocked(v, u graph.NodeID, d int) {
 			}
 		}
 	}
-	if k == 0 {
-		m.c.EmptySkips++
+	if k <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
 	inv := 1.0 / float64(d)
 	first := int64(-1)
 	if !m.cfg.DisableFastPath {
-		if m.rng.Float64() < math.Pow(1-inv, float64(k)) {
-			m.c.FastSkips++
+		if w.rng.Float64() < math.Pow(1-inv, float64(k)) {
+			m.cnt.fastSkips.Add(1)
 			return
 		}
-		first = stats.TruncatedGeometric(m.rng, inv, k)
+		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	m.c.SlowPaths++
-	rerouted := int64(0)
+	ids := sortedVisitors(m.walks, v)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
+	for {
+		rerouted, seen := m.backwardScan(ids, v, u, inv, first, w)
+		switch {
+		case rerouted > 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.rerouted.Add(rerouted)
+			return
+		case first < 0:
+			m.cnt.slowPaths.Add(1)
+			m.cnt.slowNoops.Add(1)
+			return
+		case seen == 0:
+			m.cnt.emptySkips.Add(1)
+			return
+		}
+		first = stats.TruncatedGeometric(w.rng, inv, seen)
+	}
+}
+
+func (m *Maintainer) backwardScan(ids []walkstore.SegmentID, v, u graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
 	idx := int64(0)
-	for _, id := range m.sortedVisitorsLocked(v) {
+	for _, id := range ids {
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		end := len(p) - 1 // candidates are non-terminal visits
-		if keep, ok := m.touched[id]; ok && keep < end {
+		if keep, ok := w.touched[id]; ok && keep < end {
 			end = keep // positions >= keep are fresh
 		}
 		pos := -1
@@ -376,7 +547,7 @@ func (m *Maintainer) rerouteBackwardLocked(v, u graph.NodeID, d int) {
 			if p[i] != v || side.PendingAt(i) != walkstore.SideBackward {
 				continue
 			}
-			if m.candidateHit(first, idx, inv) {
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
 				pos = i
 			}
 			idx++
@@ -389,29 +560,30 @@ func (m *Maintainer) rerouteBackwardLocked(v, u graph.NodeID, d int) {
 				idx++
 			}
 		}
-		m.redirectLocked(id, pos+1, u, walk.Forward)
+		m.redirect(id, pos+1, u, walk.Forward, w)
 		rerouted++
 	}
-	m.c.Rerouted += rerouted
-	if rerouted == 0 {
-		m.c.SlowNoops++
-	}
+	return rerouted, idx
 }
 
-// reviveBackwardLocked repairs stored walks after v gained its very first
-// in-edge. A walk pauses before a backward step with no reset coin, so while
-// v had no in-edges every such walk died there deterministically — and now
-// every one of them continues, necessarily to u, with probability 1: the
-// backward analogue of revival has no coin to flip.
-func (m *Maintainer) reviveBackwardLocked(v, u graph.NodeID) {
+// reviveBackward repairs stored walks after v gained its very first in-edge.
+// A walk pauses before a backward step with no reset coin, so while v had no
+// in-edges every such walk died there deterministically — and now every one
+// of them continues, necessarily to u, with probability 1: the backward
+// analogue of revival has no coin to flip. An interference-emptied terminal
+// set downgrades to EmptySkips; there is no coin whose promise could be
+// broken.
+func (m *Maintainer) reviveBackward(v, u graph.NodeID, w *updater) {
 	t := m.walks.PendingTerminals(v, walkstore.SideBackward)
-	if t == 0 {
-		m.c.EmptySkips++
+	if t <= 0 {
+		m.cnt.emptySkips.Add(1)
 		return
 	}
-	m.c.SlowPaths++
+	ids := sortedVisitors(m.walks, v)
+	held := w.lockSegments(m.segMu, ids)
+	defer m.segMu.UnlockSet(held)
 	revived := int64(0)
-	for _, id := range m.sortedVisitorsLocked(v) {
+	for _, id := range ids {
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		last := len(p) - 1
@@ -421,80 +593,73 @@ func (m *Maintainer) reviveBackwardLocked(v, u graph.NodeID) {
 		// A tail regenerated this arrival cannot end backward-pending at v
 		// (v already has the new in-edge), so this guard is unreachable; it
 		// keeps the phase safe against double-sampling regardless.
-		if keep, ok := m.touched[id]; ok && last >= keep {
+		if keep, ok := w.touched[id]; ok && last >= keep {
 			continue
 		}
-		m.redirectLocked(id, len(p), u, walk.Forward)
+		m.redirect(id, len(p), u, walk.Forward, w)
 		revived++
 	}
-	m.c.Revived += revived
-	if revived == 0 {
-		m.c.SlowNoops++
+	if revived > 0 {
+		m.cnt.slowPaths.Add(1)
+		m.cnt.revived.Add(revived)
+	} else {
+		m.cnt.emptySkips.Add(1)
 	}
 }
 
-// candidateHit decides whether the idx-th enumerated candidate switches,
-// given the pre-sampled first-success index (or -1 for unconditional flips
-// with the fast path disabled).
-func (m *Maintainer) candidateHit(first, idx int64, p float64) bool {
-	switch {
-	case first < 0:
-		return m.rng.Float64() < p
-	case idx < first:
-		return false
-	case idx == first:
-		return true
-	default:
-		return m.rng.Float64() < p
-	}
+// redirect truncates segment id to keep nodes, steps it to `to`, and extends
+// it with a fresh alternating tail whose next step has direction nextDir,
+// sampled through the social store. Parity is preserved: position keep's
+// pending direction is automatically nextDir. Callers hold the segment's
+// stripe lock.
+func (m *Maintainer) redirect(id walkstore.SegmentID, keep int, to graph.NodeID, nextDir walk.Direction, w *updater) {
+	w.tail = append(w.tail[:0], to)
+	w.tail = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, w.rng, w.tail)
+	removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+	m.cnt.stepsOut.Add(int64(removed))
+	m.cnt.stepsIn.Add(int64(added))
 }
 
-// redirectLocked truncates segment id to keep nodes, steps it to `to`, and
-// extends it with a fresh alternating tail whose next step has direction
-// nextDir, sampled through the social store. Parity is preserved: position
-// keep's pending direction is automatically nextDir.
-func (m *Maintainer) redirectLocked(id walkstore.SegmentID, keep int, to graph.NodeID, nextDir walk.Direction) {
-	m.tailBuf = append(m.tailBuf[:0], to)
-	m.tailBuf = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, m.rng, m.tailBuf)
-	removed, added := m.walks.ReplaceTail(id, keep, m.tailBuf)
-	m.c.StepsOut += int64(removed)
-	m.c.StepsIn += int64(added)
-}
-
-// ensureNodeLocked seeds R segments per side for a node first seen
-// mid-stream, preserving the invariant that every known node owns 2R walks.
-func (m *Maintainer) ensureNodeLocked(v graph.NodeID) {
+// ensureNode seeds R segments per side for a node first seen mid-stream,
+// preserving the invariant that every known node owns 2R walks. The claim is
+// made under knownMu so exactly one arrival seeds a node; the walks are
+// sampled outside the lock.
+func (m *Maintainer) ensureNode(v graph.NodeID, w *updater) {
+	m.knownMu.Lock()
 	if m.known[v] {
+		m.knownMu.Unlock()
 		return
 	}
 	m.known[v] = true
+	m.knownMu.Unlock()
 	pathsF := make([][]graph.NodeID, m.cfg.R)
 	pathsB := make([][]graph.NodeID, m.cfg.R)
 	for i := 0; i < m.cfg.R; i++ {
-		segF := walk.Salsa(m.soc, v, walk.Forward, m.cfg.Eps, m.rng)
+		segF := walk.Salsa(m.soc, v, walk.Forward, m.cfg.Eps, w.rng)
 		pathsF[i] = segF.Path
-		segB := walk.Salsa(m.soc, v, walk.Backward, m.cfg.Eps, m.rng)
+		segB := walk.Salsa(m.soc, v, walk.Backward, m.cfg.Eps, w.rng)
 		pathsB[i] = segB.Path
-		m.c.StepsIn += int64(len(segF.Path) + len(segB.Path))
+		m.cnt.stepsIn.Add(int64(len(segF.Path) + len(segB.Path)))
 	}
 	m.walks.AddBatchSided(pathsF, walkstore.SideForward)
 	m.walks.AddBatchSided(pathsB, walkstore.SideBackward)
-	m.c.Seeded += int64(2 * m.cfg.R)
+	m.cnt.seeded.Add(int64(2 * m.cfg.R))
 }
 
-// sortedVisitorsLocked returns the segments visiting u in ascending ID
-// order, making a fixed-seed run reproducible regardless of the visitor
-// set's internal representation.
-func (m *Maintainer) sortedVisitorsLocked(u graph.NodeID) []walkstore.SegmentID {
-	ids := m.walks.Visitors(u)
+// sortedVisitors returns the segments visiting u in ascending ID order,
+// making a fixed-seed serialized run reproducible regardless of the visitor
+// set's internal representation, and giving every worker one canonical
+// enumeration order.
+func sortedVisitors(walks *walkstore.Store, u graph.NodeID) []walkstore.SegmentID {
+	ids := walks.Visitors(u)
 	slices.Sort(ids)
 	return ids
 }
 
 // AuthorityEstimate returns v's global authority score: the fraction of all
 // stored authority-side visits (visits pending a backward step) that land on
-// v. Safe to call concurrently with updates; numerator and denominator are
-// read under one store lock.
+// v. Safe to call concurrently with updates; the numerator is read under v's
+// counter stripe and the denominator atomically.
 func (m *Maintainer) AuthorityEstimate(v graph.NodeID) float64 {
 	m.soc.CountFetch()
 	visits, total := m.walks.PendingVisitFraction(v, walkstore.SideBackward)
@@ -516,14 +681,15 @@ func (m *Maintainer) HubEstimate(v graph.NodeID) float64 {
 }
 
 // AuthorityAll returns the full global authority score vector as one
-// consistent snapshot. Nodes with no authority-side visits are absent.
+// per-stripe-consistent snapshot. Nodes with no authority-side visits are
+// absent.
 func (m *Maintainer) AuthorityAll() map[graph.NodeID]float64 {
 	m.soc.CountFetch()
 	return normalizedCounts(m.walks.PendingVisitCounts(walkstore.SideBackward))
 }
 
-// HubAll returns the full global hub score vector as one consistent
-// snapshot. Nodes with no hub-side visits are absent.
+// HubAll returns the full global hub score vector as one
+// per-stripe-consistent snapshot. Nodes with no hub-side visits are absent.
 func (m *Maintainer) HubAll() map[graph.NodeID]float64 {
 	m.soc.CountFetch()
 	return normalizedCounts(m.walks.PendingVisitCounts(walkstore.SideForward))
@@ -548,8 +714,5 @@ func normalizedCounts(counts map[graph.NodeID]int64, total int64) map[graph.Node
 
 // Counters returns a snapshot of the update-path accounting.
 func (m *Maintainer) Counters() Counters {
-	m.mu.Lock()
-	c := m.c
-	m.mu.Unlock()
-	return c
+	return m.cnt.snapshot()
 }

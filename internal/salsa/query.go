@@ -1,6 +1,8 @@
 package salsa
 
 import (
+	"math/rand/v2"
+
 	"fastppr/internal/graph"
 	"fastppr/internal/topk"
 	"fastppr/internal/walk"
@@ -24,8 +26,9 @@ type QueryStats struct {
 	// dies at a node with no edge in the pending direction).
 	BareSteps int64
 	// StoreCalls is the measured Social Store read count across the query,
-	// taken from counter snapshots; it equals BareSteps by construction, and
-	// tests assert the two never drift.
+	// tallied by the query's own store session — exact even while maintainer
+	// arrivals and other queries run concurrently. It equals BareSteps by
+	// construction, and tests assert the two never drift.
 	StoreCalls int64
 	// Theorem8Bound is the accounting-model ceiling on the expected store
 	// calls for this query: max(0, Walks - storedSegments(source)) walks
@@ -33,6 +36,14 @@ type QueryStats struct {
 	// expected length 2(1-eps)/eps in store calls. Stitching typically lands
 	// far below it; see Theorem8Bound.
 	Theorem8Bound float64
+	// StartEpoch and EndEpoch bracket the query against the walk store's
+	// mutation epoch: EndEpoch - StartEpoch is how many segment mutations
+	// landed while the query ran. Equal under a quiet store; under a live
+	// storm the gap quantifies the snapshot drift the stitched segments may
+	// span (each individual splice is still a coherent stored path thanks to
+	// the arena's stable slices).
+	StartEpoch int64
+	EndEpoch   int64
 }
 
 // Query holds the outcome of one personalized SALSA query: empirical
@@ -114,11 +125,19 @@ type sideKey struct {
 // sampling would — and only when the current node's segments are exhausted
 // does it take single steps through the call-accounted Social Store. Every
 // stored segment is used at most once per query, so the q walks stay
-// independent. Queries are serialized with updates.
+// independent.
+//
+// Queries are read-mostly and run concurrently with updates and with each
+// other: the per-node segment lists and every spliced path are counter-
+// stripe/stable-slice snapshots, the store calls are tallied by a private
+// session, and the walk store's mutation epoch is stamped into QueryStats so
+// callers can see how much the store moved mid-query. Each query draws from
+// its own PCG stream keyed by (Seed, query index), so a query is
+// reproducible given its index even though queries interleave freely.
 func (m *Maintainer) Personalized(source graph.NodeID) *Query {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.personalizedLocked(source)
+	qi := m.cnt.queries.Add(1)
+	rng := rand.New(rand.NewPCG(m.cfg.Seed, 0xbe57a0000+uint64(qi)))
+	return m.personalized(source, rng)
 }
 
 // PersonalizedTopK returns the k best personalized authorities for source —
@@ -134,7 +153,7 @@ func (m *Maintainer) Authority(u, v graph.NodeID) float64 {
 	return m.Personalized(u).Authority(v)
 }
 
-func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
+func (m *Maintainer) personalized(source graph.NodeID, rng *rand.Rand) *Query {
 	eps := m.cfg.Eps
 	nWalks := m.cfg.queryWalks()
 	q := &Query{
@@ -143,11 +162,13 @@ func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
 	}
 	q.stats.Source = source
 	q.stats.Walks = nWalks
+	q.stats.StartEpoch = m.walks.Epoch()
 
-	pre := m.soc.Snapshot()
+	sess := m.soc.NewSession()
 	stored := len(m.walks.OwnedSided(source, walkstore.SideForward))
 	// Stitching cursors: ids[k] lists a node's stored segments for one
-	// pending direction, used[k] how many this query has consumed.
+	// pending direction (read once per query, so the list is a per-node
+	// snapshot), used[k] how many this query has consumed.
 	ids := make(map[sideKey][]walkstore.SegmentID)
 	used := make(map[sideKey]int)
 
@@ -166,7 +187,8 @@ func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
 			if n := used[k]; n < len(seg) {
 				// Splice: the stored segment is a full sample of the walk's
 				// remainder (it ended in a reset or a dead end), so it
-				// finishes this walk with zero store calls.
+				// finishes this walk with zero store calls. The path read is
+				// coherent even mid-storm: Path slices are stable snapshots.
 				used[k] = n + 1
 				p := m.walks.Path(seg[n])
 				for i := 1; i < len(p); i++ {
@@ -183,12 +205,13 @@ func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
 				q.stats.Steps += int64(len(p) - 1)
 				break
 			}
-			// Bare step: one Social Store round trip.
+			// Bare step: one Social Store round trip, tallied by the query's
+			// own session.
 			if dir == walk.Forward {
-				if m.rng.Float64() < eps {
+				if rng.Float64() < eps {
 					break
 				}
-				next, ok := m.soc.RandomOutNeighbor(cur, m.rng)
+				next, ok := sess.RandomOutNeighbor(cur, rng)
 				q.stats.BareSteps++
 				if !ok {
 					break
@@ -197,7 +220,7 @@ func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
 				q.auth[cur]++
 				q.authTotal++
 			} else {
-				next, ok := m.soc.RandomInNeighbor(cur, m.rng)
+				next, ok := sess.RandomInNeighbor(cur, rng)
 				q.stats.BareSteps++
 				if !ok {
 					break
@@ -211,9 +234,9 @@ func (m *Maintainer) personalizedLocked(source graph.NodeID) *Query {
 		}
 	}
 
-	m.soc.CountFetch() // the query's result fetch against the store
-	q.stats.StoreCalls = m.soc.Snapshot().Sub(pre).Reads
+	sess.CountFetch() // the query's result fetch against the store
+	q.stats.StoreCalls = sess.Snapshot().Reads
 	q.stats.Theorem8Bound = Theorem8Bound(nWalks, stored, eps)
-	m.c.Queries++
+	q.stats.EndEpoch = m.walks.Epoch()
 	return q
 }

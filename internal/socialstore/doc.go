@@ -8,9 +8,12 @@
 // (Theorem 8, Figure 6) is entirely about the number of calls made to this
 // database: a personalized PageRank or SALSA query's cost is its Social
 // Store round trips, and the walk-segment store exists to keep that count
-// small. Snapshot/Sub give the per-query deltas the salsa query layer
-// measures against its Theorem 8 accounting ceiling. Optionally every call
-// accrues simulated network latency so experiments can report
+// small. Snapshot/Sub give global counter deltas; a per-caller Session
+// tallies its own calls as well as the globals, which is what keeps each
+// personalized query's measured round trips exactly attributable while
+// concurrent arrivals and other queries share the store (the accounting
+// model is docs/DESIGN.md#4-the-theorem-8-accounting-model). Optionally
+// every call accrues simulated network latency so experiments can report
 // wall-clock-like costs without sleeping.
 //
 // The in-memory sharded implementation preserves the behaviour that matters

@@ -193,6 +193,58 @@ func (s *Store) ResetMetrics() {
 	}
 }
 
+// Session is a per-caller accounting view of the store: every read made
+// through it counts against both the store's global counters and the
+// session's own tally. A concurrent personalized query owns one session, so
+// its Theorem 8 round-trip count stays exact even while maintainer arrivals
+// and other queries hammer the same store — global snapshot deltas stop
+// being attributable the moment there is more than one caller. A Session is
+// owned by a single goroutine and is not safe for concurrent use; it
+// implements walk.Neighborer like the store itself.
+type Session struct {
+	s       *Store
+	reads   int64
+	fetches int64
+}
+
+// NewSession returns a fresh per-caller accounting view.
+func (s *Store) NewSession() *Session { return &Session{s: s} }
+
+// RandomOutNeighbor samples through the store, tallying the read locally.
+func (c *Session) RandomOutNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	c.reads++
+	return c.s.RandomOutNeighbor(v, rng)
+}
+
+// RandomInNeighbor samples through the store, tallying the read locally.
+func (c *Session) RandomInNeighbor(v graph.NodeID, rng *rand.Rand) (graph.NodeID, bool) {
+	c.reads++
+	return c.s.RandomInNeighbor(v, rng)
+}
+
+// OutDegree reads through the store, tallying locally.
+func (c *Session) OutDegree(v graph.NodeID) int {
+	c.reads++
+	return c.s.OutDegree(v)
+}
+
+// InDegree reads through the store, tallying locally.
+func (c *Session) InDegree(v graph.NodeID) int {
+	c.reads++
+	return c.s.InDegree(v)
+}
+
+// CountFetch records one fetch operation against both layers.
+func (c *Session) CountFetch() {
+	c.fetches++
+	c.s.CountFetch()
+}
+
+// Snapshot returns the session's own call tally (not the store's globals).
+func (c *Session) Snapshot() CallSnapshot {
+	return CallSnapshot{Reads: c.reads, Fetches: c.fetches}
+}
+
 // Metrics returns a snapshot of the counters.
 func (s *Store) Metrics() Metrics {
 	m := Metrics{

@@ -243,3 +243,67 @@ func TestInDegreeReadThrough(t *testing.T) {
 		t.Fatalf("2 in-degree lookups recorded %d reads", d.Reads)
 	}
 }
+
+// TestSessionAccounting pins the per-caller accounting view: a session's
+// tally must count exactly its own calls while still flowing into the
+// store's global counters — the property that keeps per-query Theorem 8
+// accounting exact when multiple callers share one store.
+func TestSessionAccounting(t *testing.T) {
+	g := graph.New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	s := New(g)
+	rng := rand.New(rand.NewPCG(5, 0))
+
+	pre := s.Snapshot()
+	sess := s.NewSession()
+	sess.RandomOutNeighbor(1, rng)
+	sess.RandomInNeighbor(2, rng)
+	sess.OutDegree(2)
+	sess.InDegree(3)
+	sess.CountFetch()
+	// Interleaved calls from another caller must not leak into the session.
+	s.OutDegree(1)
+	s.RandomOutNeighbor(2, rng)
+
+	local := sess.Snapshot()
+	if local.Reads != 4 || local.Fetches != 1 || local.Writes != 0 {
+		t.Fatalf("session tally=%+v want reads=4 fetches=1 writes=0", local)
+	}
+	global := s.Snapshot().Sub(pre)
+	if global.Reads != 6 || global.Fetches != 1 {
+		t.Fatalf("global delta=%+v want reads=6 fetches=1", global)
+	}
+}
+
+// TestSessionsConcurrent runs many sessions against one store under -race:
+// each session's tally must equal its own call count exactly, and the
+// global counters must equal the sum.
+func TestSessionsConcurrent(t *testing.T) {
+	g := graph.New(0)
+	for i := 0; i < 32; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%32))
+	}
+	s := New(g)
+	const sessions = 8
+	const calls = 500
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(i), 9))
+			sess := s.NewSession()
+			for k := 0; k < calls; k++ {
+				sess.RandomOutNeighbor(graph.NodeID(rng.IntN(32)), rng)
+			}
+			if got := sess.Snapshot().Reads; got != calls {
+				t.Errorf("session %d tallied %d reads, want %d", i, got, calls)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Snapshot().Reads; got != sessions*calls {
+		t.Fatalf("global reads=%d want %d", got, sessions*calls)
+	}
+}

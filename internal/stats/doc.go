@@ -2,6 +2,8 @@
 // relies on: rank–size power-law fitting (the Figure 4 regression),
 // cumulative degree distributions (Figure 1's arrival-vs-existing degree
 // CDFs), 11-point interpolated average precision (the metric of Figure 5),
-// and small numeric helpers (harmonic numbers, summaries, the
-// truncated-geometric sampler behind the maintainers' lossless fast path).
+// and small numeric helpers (harmonic numbers, summaries, and the
+// truncated-geometric sampler plus first-success-hit rule behind the
+// maintainers' lossless fast path —
+// docs/DESIGN.md#3-the-lossless-wv-fast-path).
 package stats

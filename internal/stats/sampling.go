@@ -26,3 +26,21 @@ func TruncatedGeometric(rng *rand.Rand, p float64, k int64) int64 {
 	}
 	return j
 }
+
+// FirstSuccessHit decides whether the idx-th enumerated Bernoulli(p) trial
+// succeeds, given a pre-sampled first-success index from TruncatedGeometric
+// (or first < 0 for unconditional flips with the fast path disabled): trials
+// before first fail by construction, trial first succeeds, and later trials
+// flip independent coins. Shared by both maintainers' repair scans.
+func FirstSuccessHit(rng *rand.Rand, first, idx int64, p float64) bool {
+	switch {
+	case first < 0:
+		return rng.Float64() < p
+	case idx < first:
+		return false
+	case idx == first:
+		return true
+	default:
+		return rng.Float64() < p
+	}
+}

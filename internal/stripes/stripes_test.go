@@ -1,0 +1,108 @@
+package stripes
+
+import (
+	"slices"
+	"sync"
+	"testing"
+)
+
+func TestNewMutexSetRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{{1, 1}, {2, 2}, {3, 4}, {500, 512}, {512, 512}} {
+		if got := NewMutexSet(tc.n).Len(); got != tc.want {
+			t.Fatalf("NewMutexSet(%d).Len()=%d want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestIndexInRangeAndStable(t *testing.T) {
+	s := NewMutexSet(64)
+	for k := uint64(0); k < 10_000; k++ {
+		i := s.Index(k)
+		if i < 0 || i >= s.Len() {
+			t.Fatalf("Index(%d)=%d out of range", k, i)
+		}
+		if j := s.Index(k); j != i {
+			t.Fatalf("Index(%d) unstable: %d then %d", k, i, j)
+		}
+	}
+}
+
+func TestCollectIndicesSortedDeduped(t *testing.T) {
+	s := NewMutexSet(8)
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(i % 37)
+	}
+	idx := s.CollectIndices(keys, nil)
+	if !slices.IsSorted(idx) {
+		t.Fatalf("indices not sorted: %v", idx)
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if seen[i] {
+			t.Fatalf("duplicate index %d in %v", i, idx)
+		}
+		seen[i] = true
+	}
+	// Every key's stripe must be present.
+	for _, k := range keys {
+		if !seen[s.Index(k)] {
+			t.Fatalf("stripe of key %d missing from %v", k, idx)
+		}
+	}
+	// Buffer reuse starts from empty.
+	idx2 := s.CollectIndices(keys[:1], idx)
+	if len(idx2) != 1 || idx2[0] != s.Index(keys[0]) {
+		t.Fatalf("reused buffer not reset: %v", idx2)
+	}
+}
+
+// TestLockSetMutualExclusion drives many goroutines through overlapping
+// ordered lock sets under -race; a counter per stripe catches any failure of
+// mutual exclusion.
+func TestLockSetMutualExclusion(t *testing.T) {
+	s := NewMutexSet(16)
+	counters := make([]int, s.Len())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []int
+			for iter := 0; iter < 500; iter++ {
+				keys := []uint64{uint64(w + iter), uint64(iter), uint64(w * iter)}
+				buf = s.CollectIndices(keys, buf)
+				s.LockSet(buf)
+				for _, i := range buf {
+					counters[i]++
+				}
+				s.UnlockSet(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestLockPairSameStripe(t *testing.T) {
+	s := NewMutexSet(4)
+	// Find two keys on the same stripe.
+	var a, b uint64
+	found := false
+	for b = 1; b < 1000 && !found; b++ {
+		if s.Index(a) == s.Index(b) {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no collision found")
+	}
+	b--
+	i, j := s.LockPair(a, b)
+	if i != j {
+		t.Fatalf("LockPair on colliding keys returned distinct stripes %d,%d", i, j)
+	}
+	s.UnlockPair(i, j) // must not double-unlock
+	// Relockable afterwards.
+	i, j = s.LockPair(a, b)
+	s.UnlockPair(i, j)
+}

@@ -3,5 +3,6 @@
 // personalized scores without materializing a full sort, as the paper's
 // Section 5 top-k personalized SALSA/PageRank queries require. Ties break
 // toward lower node IDs so rankings are deterministic and directly
-// comparable with exact.Ranking.
+// comparable with exact.Ranking. Both maintainers' reader layers
+// (docs/DESIGN.md#1-data-flow) serve their top-k endpoints through it.
 package topk

@@ -24,5 +24,7 @@
 // remainder of a walk paused at node v is distributed exactly as a fresh
 // continuation from v. The incremental maintainers (Section 2.2's update
 // rule) regrow rerouted tails with it, and the personalized query layer
-// (Section 4-5) splices stored segments onto live walks with it.
+// (Section 4-5) splices stored segments onto live walks with it — the
+// zero-round-trip stitch of
+// docs/DESIGN.md#4-the-theorem-8-accounting-model.
 package walk

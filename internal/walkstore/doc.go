@@ -36,10 +36,24 @@
 // addressed by (offset, length); mutation never writes inside the occupied
 // prefix of the arena, so a path slice handed out by Path stays valid and
 // immutable for the life of the store even across ReplaceTail (which writes
-// the revised path at the arena tail and repoints the segment). The visitor
-// index keeps, per node, a small sorted (segment, multiplicity) slice and
-// upgrades to a map only for high-degree hubs, replacing the nested-map
-// layout whose per-node allocation dominated the old hot path.
+// the revised path at the arena tail and repoints the segment) — see
+// docs/DESIGN.md#2-the-arena--copy-on-truncate-invariant. The visitor index
+// keeps, per node, a small sorted (segment, multiplicity) slice and upgrades
+// to a map only for high-degree hubs.
+//
+// Concurrency. All per-node state — counters, visitor sets, owner lists,
+// sided tables — is sharded into hash-addressed lock stripes, so everything
+// one node's skip coin reads is consistent under a single stripe lock while
+// unrelated nodes mutate in parallel; the arena and segment table sit under
+// a separate segment lock, global totals are atomic mirrors, and each
+// stripe keeps its own share of every total, which Validate cross-checks
+// against both the atomics and a recount from the stored paths. Reads are
+// freely concurrent; mutations of distinct segments are concurrent-safe,
+// mutations of the same segment must be serialized by the caller (the
+// engine and both maintainers hold SegmentID stripe locks for exactly
+// this). Epoch counts completed mutations — the version stamp the
+// read-mostly query path brackets itself with. The full lock order and the
+// snapshot-semantics argument live in docs/DESIGN.md#6-concurrency-model.
 //
 // The store is deliberately agnostic about what a segment means: it stores
 // node paths. The PageRank maintainer stores reset walks; the SALSA

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"fastppr/internal/graph"
+	"fastppr/internal/stripes"
 )
 
 // SegmentID identifies a stored segment. IDs are assigned densely from 0 and
@@ -47,7 +49,9 @@ func mustDir(d Side) {
 }
 
 // Observer is notified of visit-count mutations: delta is +1 when a segment
-// gains a visit to node at path position pos, -1 when it loses one.
+// gains a visit to node at path position pos, -1 when it loses one. The
+// observer runs under the counter stripe lock of the visited node, so it may
+// fire concurrently for different nodes.
 type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
 
 // segRef addresses one segment's path inside the arena.
@@ -152,20 +156,22 @@ func (vs *visitorSet) each(f func(SegmentID, int32)) {
 	}
 }
 
-// Store holds walk segments with an inverted visit index. All methods are
-// safe for concurrent use.
-type Store struct {
-	mu          sync.RWMutex
-	arena       []graph.NodeID
-	segs        []segRef // indexed by SegmentID
-	owned       map[graph.NodeID][]SegmentID
-	visitors    map[graph.NodeID]*visitorSet
-	visits      map[graph.NodeID]int64 // X_v
-	terminals   map[graph.NodeID]int64 // T(v): live segments ending at v
-	totalVisits int64
-	liveNodes   int64 // arena slots referenced by live segments
-	numLive     int
-	observer    Observer
+// numStripes is the number of counter stripes the per-node tables are
+// sharded into. Power of two so stripe selection is a mask.
+const numStripes = 64
+
+// counterStripe owns the per-node index and counters for the nodes hashing
+// to it, plus this stripe's share of the global visit totals. Everything a
+// single node's skip coin needs — visits, terminals, candidates, visitor
+// set, sided variants — lives under one stripe lock, so a maintainer reads a
+// consistent per-node view with one acquisition while unrelated nodes
+// proceed in parallel.
+type counterStripe struct {
+	mu        sync.RWMutex
+	visitors  map[graph.NodeID]*visitorSet
+	visits    map[graph.NodeID]int64 // X_v
+	terminals map[graph.NodeID]int64 // T(v): live segments ending at v
+	owned     map[graph.NodeID][]SegmentID
 
 	// Per-side counters over sided (alternating) segments, indexed by the
 	// pending step direction of a visit: a visit at position pos of a segment
@@ -175,32 +181,87 @@ type Store struct {
 	// score numerators and skip-coin exponents.
 	sidedVisits    [2]map[graph.NodeID]int64
 	sidedTerminals [2]map[graph.NodeID]int64
-	sidedTotals    [2]int64
 	ownedSided     [2]map[graph.NodeID][]SegmentID
+
+	// Stripe shares of the global totals; Validate cross-checks that they
+	// sum to the atomic globals and to a recount from the stored paths.
+	totalVisits int64
+	sidedTotals [2]int64
+}
+
+// Store holds walk segments with an inverted visit index. Reads are safe for
+// arbitrary concurrent use. Mutations of *different* segments are safe
+// concurrently; mutations of the same segment (ReplaceTail/Remove on one ID)
+// must be serialized by the caller — the engine and both maintainers hold
+// SegmentID stripe locks for exactly this. Counter state is sharded into
+// numStripes lock stripes by node, so per-node reads and updates of
+// unrelated nodes do not contend.
+type Store struct {
+	segMu     sync.RWMutex // guards arena, segs, numLive, liveNodes, observer
+	arena     []graph.NodeID
+	segs      []segRef // indexed by SegmentID
+	numLive   int
+	liveNodes int64 // arena slots referenced by live segments
+	observer  Observer
+
+	// Global counter mirrors, updated inside the stripe-locked sections.
+	// Individually exact at any instant; the pair (per-node count, global
+	// total) is only mutually consistent at quiescent points — see
+	// docs/DESIGN.md#6-concurrency-model for the snapshot semantics.
+	totalVisits atomic.Int64
+	sidedTotals [2]atomic.Int64
+
+	// epoch counts completed segment mutations (Add/ReplaceTail/Remove). A
+	// reader brackets work with two Epoch() calls to learn whether — and how
+	// much — the store moved underneath it.
+	epoch atomic.Int64
+
+	stripes [numStripes]counterStripe
 }
 
 // New returns an empty store.
 func New() *Store {
-	s := &Store{
-		owned:     make(map[graph.NodeID][]SegmentID),
-		visitors:  make(map[graph.NodeID]*visitorSet),
-		visits:    make(map[graph.NodeID]int64),
-		terminals: make(map[graph.NodeID]int64),
-	}
-	for d := 0; d < 2; d++ {
-		s.sidedVisits[d] = make(map[graph.NodeID]int64)
-		s.sidedTerminals[d] = make(map[graph.NodeID]int64)
-		s.ownedSided[d] = make(map[graph.NodeID][]SegmentID)
+	s := &Store{}
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.visitors = make(map[graph.NodeID]*visitorSet)
+		st.visits = make(map[graph.NodeID]int64)
+		st.terminals = make(map[graph.NodeID]int64)
+		st.owned = make(map[graph.NodeID][]SegmentID)
+		for d := 0; d < 2; d++ {
+			st.sidedVisits[d] = make(map[graph.NodeID]int64)
+			st.sidedTerminals[d] = make(map[graph.NodeID]int64)
+			st.ownedSided[d] = make(map[graph.NodeID][]SegmentID)
+		}
 	}
 	return s
 }
+
+// stripeIndex returns the counter stripe index of node v.
+func stripeIndex(v graph.NodeID) int {
+	return int((stripes.Hash(uint64(v)) >> 32) & (numStripes - 1))
+}
+
+// stripe returns the counter stripe owning node v.
+func (s *Store) stripe(v graph.NodeID) *counterStripe {
+	return &s.stripes[stripeIndex(v)]
+}
+
+// NumStripes returns the number of counter stripes (for tests and bench
+// provenance).
+func (s *Store) NumStripes() int { return numStripes }
+
+// Epoch returns the number of completed segment mutations. Monotone;
+// bracketing a read-only pass with two Epoch calls bounds how many mutations
+// landed during it.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
 // SetObserver installs an observer for visit mutations. Must be called
 // while the store holds no live segments (fresh, or emptied for a rebuild);
 // the observer then sees every mutation.
 func (s *Store) SetObserver(o Observer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
 	if s.numLive != 0 {
 		panic("walkstore: SetObserver with live segments")
 	}
@@ -224,15 +285,16 @@ func (s *Store) AddSided(path []graph.NodeID, side Side) SegmentID {
 	if side != Unsided {
 		mustDir(side)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.addLocked(path, side)
+	id, stored := s.appendSegment(path, side)
+	s.indexSegment(id, stored, side)
+	s.epoch.Add(1)
+	return id
 }
 
-// AddBatch stores many unsided segments under one lock acquisition — the
-// bulk-load path the parallel walk engine uses to flush a burst of finished
-// segments. Every path must be non-empty; paths are copied. The returned IDs
-// are in input order.
+// AddBatch stores many unsided segments under one arena-lock acquisition —
+// the bulk-load path the parallel walk engine uses to flush a burst of
+// finished segments. Every path must be non-empty; paths are copied. The
+// returned IDs are in input order.
 func (s *Store) AddBatch(paths [][]graph.NodeID) []SegmentID {
 	return s.AddBatchSided(paths, Unsided)
 }
@@ -243,109 +305,162 @@ func (s *Store) AddBatchSided(paths [][]graph.NodeID, side Side) []SegmentID {
 		mustDir(side)
 	}
 	ids := make([]SegmentID, len(paths))
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	stored := make([][]graph.NodeID, len(paths))
+	s.segMu.Lock()
 	for i, p := range paths {
 		if len(p) == 0 {
+			s.segMu.Unlock()
 			panic("walkstore: empty segment path")
 		}
-		ids[i] = s.addLocked(p, side)
+		ids[i], stored[i] = s.appendSegmentLocked(p, side)
 	}
+	s.segMu.Unlock()
+	for i, p := range stored {
+		s.indexSegment(ids[i], p, side)
+	}
+	s.epoch.Add(int64(len(paths)))
 	return ids
 }
 
-func (s *Store) addLocked(path []graph.NodeID, side Side) SegmentID {
+// appendSegment writes one segment into the arena under the segment lock and
+// returns its ID together with the arena-resident copy of the path (stable
+// forever, safe to read after the lock is released).
+func (s *Store) appendSegment(path []graph.NodeID, side Side) (SegmentID, []graph.NodeID) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	return s.appendSegmentLocked(path, side)
+}
+
+func (s *Store) appendSegmentLocked(path []graph.NodeID, side Side) (SegmentID, []graph.NodeID) {
 	id := SegmentID(len(s.segs))
 	off := int64(len(s.arena))
 	s.arena = append(s.arena, path...)
 	s.segs = append(s.segs, segRef{off: off, n: int32(len(path)), side: side, live: true})
 	s.numLive++
 	s.liveNodes += int64(len(path))
+	return id, s.arena[off : off+int64(len(path)) : off+int64(len(path))]
+}
+
+// indexSegment registers a freshly appended segment in the per-node counter
+// stripes: owner index, terminal counters, and one visit per path position.
+func (s *Store) indexSegment(id SegmentID, path []graph.NodeID, side Side) {
 	src := path[0]
-	s.owned[src] = append(s.owned[src], id)
-	s.terminals[path[len(path)-1]]++
+	st := s.stripe(src)
+	st.mu.Lock()
+	st.owned[src] = append(st.owned[src], id)
 	if side >= 0 {
-		s.ownedSided[side][src] = append(s.ownedSided[side][src], id)
-		s.sidedTerminals[side.PendingAt(len(path)-1)][path[len(path)-1]]++
+		st.ownedSided[side][src] = append(st.ownedSided[side][src], id)
 	}
+	st.mu.Unlock()
+
+	end := path[len(path)-1]
+	st = s.stripe(end)
+	st.mu.Lock()
+	st.terminals[end]++
+	if side >= 0 {
+		st.sidedTerminals[side.PendingAt(len(path)-1)][end]++
+	}
+	st.mu.Unlock()
+
 	for pos, v := range path {
-		s.addVisitLocked(id, v, pos)
-	}
-	return id
-}
-
-// decTerminalLocked drops one terminal count of v, clearing empty entries.
-func (s *Store) decTerminalLocked(v graph.NodeID) {
-	s.terminals[v]--
-	if s.terminals[v] == 0 {
-		delete(s.terminals, v)
+		s.addVisit(id, v, pos, side)
 	}
 }
 
-// retargetTerminalLocked moves one terminal count from old to new.
-func (s *Store) retargetTerminalLocked(oldEnd, newEnd graph.NodeID) {
-	if oldEnd == newEnd {
-		return
-	}
-	s.decTerminalLocked(oldEnd)
-	s.terminals[newEnd]++
-}
-
-func (s *Store) addVisitLocked(id SegmentID, v graph.NodeID, pos int) {
-	vs := s.visitors[v]
+func (s *Store) addVisit(id SegmentID, v graph.NodeID, pos int, side Side) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	vs := st.visitors[v]
 	if vs == nil {
 		vs = &visitorSet{}
-		s.visitors[v] = vs
+		st.visitors[v] = vs
 	}
 	vs.add(id)
-	s.visits[v]++
-	s.totalVisits++
-	if side := s.segs[id].side; side >= 0 {
+	st.visits[v]++
+	st.totalVisits++
+	s.totalVisits.Add(1)
+	if side >= 0 {
 		d := side.PendingAt(pos)
-		s.sidedVisits[d][v]++
-		s.sidedTotals[d]++
+		st.sidedVisits[d][v]++
+		st.sidedTotals[d]++
+		s.sidedTotals[d].Add(1)
 	}
 	if s.observer != nil {
 		s.observer(id, v, pos, +1)
 	}
+	st.mu.Unlock()
 }
 
-func (s *Store) removeVisitLocked(id SegmentID, v graph.NodeID, pos int) {
-	vs := s.visitors[v]
+func (s *Store) removeVisit(id SegmentID, v graph.NodeID, pos int, side Side) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	vs := st.visitors[v]
 	if vs == nil {
+		st.mu.Unlock()
 		panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, v))
 	}
 	if vs.remove(id) {
-		delete(s.visitors, v)
+		delete(st.visitors, v)
 	}
-	s.visits[v]--
-	if s.visits[v] == 0 {
-		delete(s.visits, v)
+	st.visits[v]--
+	if st.visits[v] == 0 {
+		delete(st.visits, v)
 	}
-	s.totalVisits--
-	if side := s.segs[id].side; side >= 0 {
+	st.totalVisits--
+	s.totalVisits.Add(-1)
+	if side >= 0 {
 		d := side.PendingAt(pos)
-		s.sidedVisits[d][v]--
-		if s.sidedVisits[d][v] == 0 {
-			delete(s.sidedVisits[d], v)
+		st.sidedVisits[d][v]--
+		if st.sidedVisits[d][v] == 0 {
+			delete(st.sidedVisits[d], v)
 		}
-		s.sidedTotals[d]--
+		st.sidedTotals[d]--
+		s.sidedTotals[d].Add(-1)
 	}
 	if s.observer != nil {
 		s.observer(id, v, pos, -1)
 	}
+	st.mu.Unlock()
 }
 
-// decSidedTerminalLocked drops one sided terminal count, clearing empties.
-func (s *Store) decSidedTerminalLocked(d Side, v graph.NodeID) {
-	s.sidedTerminals[d][v]--
-	if s.sidedTerminals[d][v] == 0 {
-		delete(s.sidedTerminals[d], v)
+// decTerminal drops one terminal count of v, clearing empty entries.
+func (s *Store) decTerminal(v graph.NodeID) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	st.terminals[v]--
+	if st.terminals[v] == 0 {
+		delete(st.terminals, v)
 	}
+	st.mu.Unlock()
+}
+
+func (s *Store) incTerminal(v graph.NodeID) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	st.terminals[v]++
+	st.mu.Unlock()
+}
+
+// decSidedTerminal drops one sided terminal count, clearing empties.
+func (s *Store) decSidedTerminal(d Side, v graph.NodeID) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	st.sidedTerminals[d][v]--
+	if st.sidedTerminals[d][v] == 0 {
+		delete(st.sidedTerminals[d], v)
+	}
+	st.mu.Unlock()
+}
+
+func (s *Store) incSidedTerminal(d Side, v graph.NodeID) {
+	st := s.stripe(v)
+	st.mu.Lock()
+	st.sidedTerminals[d][v]++
+	st.mu.Unlock()
 }
 
 // refLocked returns the live segRef for id, panicking on unknown or removed
-// segments.
+// segments. Caller holds segMu.
 func (s *Store) refLocked(id SegmentID) segRef {
 	if id < 0 || int(id) >= len(s.segs) || !s.segs[id].live {
 		panic(fmt.Sprintf("walkstore: unknown segment %d", id))
@@ -362,35 +477,39 @@ func (s *Store) pathLocked(r segRef) []graph.NodeID {
 // Path returns the segment's node path. The returned slice must not be
 // modified, but it is stable: the arena is grow-only and ReplaceTail writes
 // revised paths to fresh arena space, so the slice keeps its contents even
-// after later mutations of the same segment.
+// after later mutations of the same segment. This stability is what lets
+// concurrent readers (the query layer's splices, the maintainers' scans)
+// hold a coherent path with no copy while mutations continue.
 func (s *Store) Path(id SegmentID) []graph.NodeID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
 	return s.pathLocked(s.refLocked(id))
 }
 
 // OwnedBy returns the IDs of segments whose walks start at u, in insertion
 // order. The returned slice is a copy.
 func (s *Store) OwnedBy(u graph.NodeID) []SegmentID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]SegmentID(nil), s.owned[u]...)
+	st := s.stripe(u)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]SegmentID(nil), st.owned[u]...)
 }
 
 // OwnedSided returns the IDs of u's stored segments whose first step has the
 // given direction, in insertion order. The returned slice is a copy.
 func (s *Store) OwnedSided(u graph.NodeID, side Side) []SegmentID {
 	mustDir(side)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]SegmentID(nil), s.ownedSided[side][u]...)
+	st := s.stripe(u)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return append([]SegmentID(nil), st.ownedSided[side][u]...)
 }
 
 // SideOf returns the side a live segment was stored with (Unsided for plain
 // reset walks).
 func (s *Store) SideOf(id SegmentID) Side {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
 	return s.refLocked(id).side
 }
 
@@ -399,9 +518,10 @@ func (s *Store) SideOf(id SegmentID) Side {
 // Backward step are authority-side visits; pending Forward, hub-side.
 func (s *Store) PendingVisits(v graph.NodeID, dir Side) int64 {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sidedVisits[dir][v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.sidedVisits[dir][v]
 }
 
 // PendingTerminals returns the number of stored sided segments that end at v
@@ -409,20 +529,23 @@ func (s *Store) PendingVisits(v graph.NodeID, dir Side) int64 {
 // revive when v gains its first edge in that direction.
 func (s *Store) PendingTerminals(v graph.NodeID, dir Side) int64 {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sidedTerminals[dir][v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.sidedTerminals[dir][v]
 }
 
 // PendingCandidates returns the number of dir-direction steps stored sided
 // segments actually take from v (pending visits minus terminals) — the exact
 // exponent of the SALSA maintainer's skip coin, the sided analogue of
-// Candidates.
+// Candidates. Both counts are read under v's stripe lock, so the difference
+// is a consistent per-node snapshot even while other nodes mutate.
 func (s *Store) PendingCandidates(v graph.NodeID, dir Side) int64 {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sidedVisits[dir][v] - s.sidedTerminals[dir][v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.sidedVisits[dir][v] - st.sidedTerminals[dir][v]
 }
 
 // PendingTotal returns the total number of stored sided visits pending a
@@ -430,39 +553,54 @@ func (s *Store) PendingCandidates(v graph.NodeID, dir Side) int64 {
 // authority (Backward) score estimates.
 func (s *Store) PendingTotal(dir Side) int64 {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sidedTotals[dir]
+	return s.sidedTotals[dir].Load()
 }
 
 // PendingVisitCounts returns a copy of the full pending-visit table for one
-// direction, together with its total, read under one lock so the ratios form
-// a consistent snapshot.
+// direction, together with its total. Each stripe is read under its own
+// lock, so the copy is per-stripe consistent; at a quiescent point it is
+// exact, and the total is the sum of the per-stripe shares read under the
+// same locks as their counts.
 func (s *Store) PendingVisitCounts(dir Side) (counts map[graph.NodeID]int64, total int64) {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	counts = make(map[graph.NodeID]int64, len(s.sidedVisits[dir]))
-	for v, x := range s.sidedVisits[dir] {
-		counts[v] = x
+	size := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+		size += len(s.stripes[i].sidedVisits[dir])
+		s.stripes[i].mu.RUnlock()
 	}
-	return counts, s.sidedTotals[dir]
+	counts = make(map[graph.NodeID]int64, size)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for v, x := range st.sidedVisits[dir] {
+			counts[v] = x
+		}
+		total += st.sidedTotals[dir]
+		st.mu.RUnlock()
+	}
+	return counts, total
 }
 
 // PendingVisitFraction returns the pending-dir visit count of v together
-// with the side total, read under one lock.
+// with the side total. The count is read under v's stripe lock; the total is
+// the atomic global, so under concurrent mutation the ratio has bounded skew
+// (at most the mutations in flight) rather than lock-exact consistency.
 func (s *Store) PendingVisitFraction(v graph.NodeID, dir Side) (visits, total int64) {
 	mustDir(dir)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sidedVisits[dir][v], s.sidedTotals[dir]
+	st := s.stripe(v)
+	st.mu.RLock()
+	visits = st.sidedVisits[dir][v]
+	st.mu.RUnlock()
+	return visits, s.sidedTotals[dir].Load()
 }
 
 // Visitors returns the IDs of segments that visit v. Order is unspecified.
 func (s *Store) Visitors(v graph.NodeID) []SegmentID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vs := s.visitors[v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	vs := st.visitors[v]
 	if vs == nil {
 		return nil
 	}
@@ -473,9 +611,10 @@ func (s *Store) Visitors(v graph.NodeID) []SegmentID {
 
 // W returns the number of distinct segments visiting v — the paper's W(v).
 func (s *Store) W(v graph.NodeID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vs := s.visitors[v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	vs := st.visitors[v]
 	if vs == nil {
 		return 0
 	}
@@ -484,16 +623,18 @@ func (s *Store) W(v graph.NodeID) int {
 
 // Visits returns X_v, the total visit count of v across stored segments.
 func (s *Store) Visits(v graph.NodeID) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.visits[v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.visits[v]
 }
 
 // Terminals returns T(v), the number of stored segments whose path ends at v.
 func (s *Store) Terminals(v graph.NodeID) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.terminals[v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.terminals[v]
 }
 
 // Candidates returns X_v - T(v): the number of outgoing walk steps stored
@@ -501,42 +642,56 @@ func (s *Store) Terminals(v graph.NodeID) int64 {
 // probability exactly 1-(1-1/d)^Candidates(v), the quantity behind the
 // incremental maintainer's skip coin (the paper states the bound with W(v),
 // which coincides when segments visit v at most once and never end there).
+// Both counts live under v's stripe lock, so the difference is a consistent
+// per-node snapshot.
 func (s *Store) Candidates(v graph.NodeID) int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.visits[v] - s.terminals[v]
+	st := s.stripe(v)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.visits[v] - st.terminals[v]
 }
 
-// VisitFraction returns X_v together with the total visit count, read under
-// one lock so the ratio is a consistent snapshot even while updates land.
+// VisitFraction returns X_v together with the total visit count. The count
+// is read under v's stripe lock, the total atomically; see
+// PendingVisitFraction for the skew bound under concurrent mutation.
 func (s *Store) VisitFraction(v graph.NodeID) (visits, total int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.visits[v], s.totalVisits
+	st := s.stripe(v)
+	st.mu.RLock()
+	visits = st.visits[v]
+	st.mu.RUnlock()
+	return visits, s.totalVisits.Load()
 }
 
 // TotalVisits returns the sum of X_v over all nodes (= total stored steps).
 func (s *Store) TotalVisits() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.totalVisits
+	return s.totalVisits.Load()
 }
 
-// VisitCounts returns a copy of the full X_v table.
+// VisitCounts returns a copy of the full X_v table, per-stripe consistent
+// (exact at quiescent points).
 func (s *Store) VisitCounts() map[graph.NodeID]int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[graph.NodeID]int64, len(s.visits))
-	for v, x := range s.visits {
-		out[v] = x
+	size := 0
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+		size += len(s.stripes[i].visits)
+		s.stripes[i].mu.RUnlock()
+	}
+	out := make(map[graph.NodeID]int64, size)
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.RLock()
+		for v, x := range st.visits {
+			out[v] = x
+		}
+		st.mu.RUnlock()
 	}
 	return out
 }
 
 // NumSegments returns the number of stored (live) segments.
 func (s *Store) NumSegments() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
 	return s.numLive
 }
 
@@ -544,8 +699,8 @@ func (s *Store) NumSegments() int {
 // is garbage left behind by ReplaceTail/Remove; a future compaction pass can
 // reclaim it when the ratio degrades.
 func (s *Store) ArenaStats() (live, total int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
 	return s.liveNodes, int64(len(s.arena))
 }
 
@@ -553,93 +708,139 @@ func (s *Store) ArenaStats() (live, total int64) {
 // appends newTail, updating the visit index. It returns the number of
 // removed and added visits, which the maintainer accounts as update work.
 // The revised path is written to fresh arena space, so slices previously
-// returned by Path keep their old contents (copy-on-truncate).
+// returned by Path keep their old contents (copy-on-truncate). Concurrent
+// ReplaceTail/Remove calls on the same segment must be serialized by the
+// caller; calls on distinct segments may run concurrently.
 func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (removed, added int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.refLocked(id)
-	if keep < 1 || keep > int(r.n) {
-		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, r.n))
-	}
-	if keep == int(r.n) && len(newTail) == 0 {
+	old, r, noop := s.relocate(id, keep, newTail)
+	if noop {
 		return 0, 0
 	}
-	old := s.pathLocked(r)
+	n := keep + len(newTail)
 	newEnd := old[keep-1]
 	if len(newTail) > 0 {
 		newEnd = newTail[len(newTail)-1]
 	}
-	s.retargetTerminalLocked(old[r.n-1], newEnd)
+	oldEnd := old[r.n-1]
+	if oldEnd != newEnd {
+		s.decTerminal(oldEnd)
+		s.incTerminal(newEnd)
+	}
 	if r.side >= 0 {
-		s.decSidedTerminalLocked(r.side.PendingAt(int(r.n)-1), old[r.n-1])
-		s.sidedTerminals[r.side.PendingAt(keep+len(newTail)-1)][newEnd]++
+		oldD := r.side.PendingAt(int(r.n) - 1)
+		newD := r.side.PendingAt(n - 1)
+		if oldEnd != newEnd || oldD != newD {
+			s.decSidedTerminal(oldD, oldEnd)
+			s.incSidedTerminal(newD, newEnd)
+		}
 	}
 	for pos := int(r.n) - 1; pos >= keep; pos-- {
-		s.removeVisitLocked(id, old[pos], pos)
+		s.removeVisit(id, old[pos], pos, r.side)
 		removed++
 	}
-	// Relocate: prefix copy plus the new tail at the arena's end. The old
-	// window is never written again, keeping outstanding Path slices stable.
+	for i, v := range newTail {
+		s.addVisit(id, v, keep+i, r.side)
+		added++
+	}
+	s.epoch.Add(1)
+	return removed, added
+}
+
+// relocate performs ReplaceTail's arena phase under the segment lock: it
+// validates the request and, unless it is a no-op, writes prefix copy plus
+// new tail at the arena's end and repoints the segment. The returned old
+// path is the pre-relocation arena window — never written again, so reading
+// it after the lock drops is safe.
+func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []graph.NodeID, r segRef, noop bool) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	r = s.refLocked(id)
+	if keep < 1 || keep > int(r.n) {
+		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, r.n))
+	}
+	if keep == int(r.n) && len(newTail) == 0 {
+		return nil, r, true
+	}
+	old = s.pathLocked(r)
 	off := int64(len(s.arena))
 	s.arena = append(s.arena, old[:keep]...)
 	s.arena = append(s.arena, newTail...)
 	n := keep + len(newTail)
 	s.segs[id] = segRef{off: off, n: int32(n), side: r.side, live: true}
 	s.liveNodes += int64(n) - int64(r.n)
-	for i, v := range newTail {
-		s.addVisitLocked(id, v, keep+i)
-		added++
-	}
-	return removed, added
+	return old, r, false
 }
 
 // Remove deletes a segment entirely, unwinding its visits. Used when a node
-// is retired or a maintainer is rebuilt. The ID is not reused.
+// is retired or a maintainer is rebuilt. The ID is not reused. Like
+// ReplaceTail, concurrent mutations of the same segment must be serialized
+// by the caller.
 func (s *Store) Remove(id SegmentID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.refLocked(id)
-	p := s.pathLocked(r)
-	s.decTerminalLocked(p[len(p)-1])
+	p, r := s.retire(id)
+	s.decTerminal(p[len(p)-1])
 	if r.side >= 0 {
-		s.decSidedTerminalLocked(r.side.PendingAt(len(p)-1), p[len(p)-1])
+		s.decSidedTerminal(r.side.PendingAt(len(p)-1), p[len(p)-1])
 	}
 	for pos := len(p) - 1; pos >= 0; pos-- {
-		s.removeVisitLocked(id, p[pos], pos)
+		s.removeVisit(id, p[pos], pos, r.side)
 	}
 	src := p[0]
-	ids := s.owned[src]
+	st := s.stripe(src)
+	st.mu.Lock()
+	ids := st.owned[src]
 	for i, x := range ids {
 		if x == id {
-			s.owned[src] = append(ids[:i], ids[i+1:]...)
+			st.owned[src] = append(ids[:i], ids[i+1:]...)
 			break
 		}
 	}
-	if len(s.owned[src]) == 0 {
-		delete(s.owned, src)
+	if len(st.owned[src]) == 0 {
+		delete(st.owned, src)
 	}
 	if r.side >= 0 {
-		sids := s.ownedSided[r.side][src]
+		sids := st.ownedSided[r.side][src]
 		for i, x := range sids {
 			if x == id {
-				s.ownedSided[r.side][src] = append(sids[:i], sids[i+1:]...)
+				st.ownedSided[r.side][src] = append(sids[:i], sids[i+1:]...)
 				break
 			}
 		}
-		if len(s.ownedSided[r.side][src]) == 0 {
-			delete(s.ownedSided[r.side], src)
+		if len(st.ownedSided[r.side][src]) == 0 {
+			delete(st.ownedSided[r.side], src)
 		}
 	}
+	st.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// retire performs Remove's segment-table phase under the segment lock,
+// returning the (stable, still-readable) path and ref of the now-dead
+// segment.
+func (s *Store) retire(id SegmentID) ([]graph.NodeID, segRef) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	r := s.refLocked(id)
+	p := s.pathLocked(r)
 	s.segs[id].live = false
 	s.numLive--
 	s.liveNodes -= int64(r.n)
+	return p, r
 }
 
-// Validate checks the visit index, counters, and arena references against
-// the stored paths. O(total path length); for tests.
+// Validate checks the visit index, counters, arena references, per-stripe
+// residency, and the per-stripe total shares against the stored paths.
+// O(total path length); for tests. Validate assumes a quiescent store: it
+// takes every lock, but a mutation caught mid-flight (between its arena
+// write and its counter updates) is indistinguishable from corruption, so
+// call it only while no mutation is in progress.
 func (s *Store) Validate() error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+		defer s.stripes[i].mu.RUnlock()
+	}
+
 	wantVisits := make(map[graph.NodeID]int64)
 	wantVisitors := make(map[graph.NodeID]map[SegmentID]int32)
 	wantTerminals := make(map[graph.NodeID]int64)
@@ -682,11 +883,11 @@ func (s *Store) Validate() error {
 		}
 		if r.side >= 0 {
 			wantSidedTerminals[r.side.PendingAt(len(p)-1)][p[len(p)-1]]++
-			if !slices.Contains(s.ownedSided[r.side][p[0]], id) {
+			if !slices.Contains(s.stripe(p[0]).ownedSided[r.side][p[0]], id) {
 				return fmt.Errorf("walkstore: segment %d missing from sided owner index of node %d", id, p[0])
 			}
 		}
-		if !slices.Contains(s.owned[p[0]], id) {
+		if !slices.Contains(s.stripe(p[0]).owned[p[0]], id) {
 			return fmt.Errorf("walkstore: segment %d missing from owner index of node %d", id, p[0])
 		}
 	}
@@ -696,77 +897,112 @@ func (s *Store) Validate() error {
 	if live != s.liveNodes {
 		return fmt.Errorf("walkstore: liveNodes=%d want %d", s.liveNodes, live)
 	}
-	if total != s.totalVisits {
-		return fmt.Errorf("walkstore: totalVisits=%d want %d", s.totalVisits, total)
+	if got := s.totalVisits.Load(); got != total {
+		return fmt.Errorf("walkstore: totalVisits=%d want %d", got, total)
 	}
-	if len(wantVisits) != len(s.visits) {
-		return fmt.Errorf("walkstore: visit table has %d nodes, want %d", len(s.visits), len(wantVisits))
-	}
-	for v, x := range wantVisits {
-		if s.visits[v] != x {
-			return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, s.visits[v], x)
+
+	// Per-stripe checks: residency (a node's counters live in its hash
+	// stripe), counter exactness, and the stripe total shares summing to the
+	// atomic globals.
+	var stripeTotal int64
+	var stripeSided [2]int64
+	nVisits, nTerminals := 0, 0
+	var nSidedVisits, nSidedTerminals [2]int
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		stripeTotal += st.totalVisits
+		for d := 0; d < 2; d++ {
+			stripeSided[d] += st.sidedTotals[d]
+			nSidedVisits[d] += len(st.sidedVisits[d])
+			nSidedTerminals[d] += len(st.sidedTerminals[d])
+			for v := range st.sidedVisits[d] {
+				if stripeIndex(v) != i {
+					return fmt.Errorf("walkstore: node %d sided visits resident in stripe %d, want %d", v, i, stripeIndex(v))
+				}
+			}
+			for v := range st.ownedSided[d] {
+				if len(st.ownedSided[d][v]) == 0 {
+					return fmt.Errorf("walkstore: empty sided owner slot for node %d", v)
+				}
+			}
 		}
-		vs := s.visitors[v]
-		if vs == nil {
-			return fmt.Errorf("walkstore: missing visitor set for node %d", v)
+		nVisits += len(st.visits)
+		nTerminals += len(st.terminals)
+		for v, x := range st.visits {
+			if stripeIndex(v) != i {
+				return fmt.Errorf("walkstore: node %d counters resident in stripe %d, want %d", v, i, stripeIndex(v))
+			}
+			if wantVisits[v] != x {
+				return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, x, wantVisits[v])
+			}
+			vs := st.visitors[v]
+			if vs == nil {
+				return fmt.Errorf("walkstore: missing visitor set for node %d", v)
+			}
+			if vs.m != nil && (vs.ids != nil || vs.counts != nil) {
+				return fmt.Errorf("walkstore: visitors[%d] has both slice and map representations", v)
+			}
+			if vs.m == nil && !slices.IsSorted(vs.ids) {
+				return fmt.Errorf("walkstore: visitors[%d] ids not sorted", v)
+			}
+			if vs.distinct() != len(wantVisitors[v]) {
+				return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, vs.distinct(), len(wantVisitors[v]))
+			}
+			for id, c := range wantVisitors[v] {
+				if got := vs.count(id); got != c {
+					return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, got, c)
+				}
+			}
 		}
-		if vs.m != nil && (vs.ids != nil || vs.counts != nil) {
-			return fmt.Errorf("walkstore: visitors[%d] has both slice and map representations", v)
+		for v := range st.visitors {
+			if wantVisits[v] == 0 {
+				return fmt.Errorf("walkstore: stale visitor set for node %d", v)
+			}
 		}
-		if vs.m == nil && !slices.IsSorted(vs.ids) {
-			return fmt.Errorf("walkstore: visitors[%d] ids not sorted", v)
+		for v, c := range st.terminals {
+			if wantTerminals[v] != c {
+				return fmt.Errorf("walkstore: terminals[%d]=%d want %d", v, c, wantTerminals[v])
+			}
 		}
-		if vs.distinct() != len(wantVisitors[v]) {
-			return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, vs.distinct(), len(wantVisitors[v]))
+		for v := range st.owned {
+			if len(st.owned[v]) == 0 {
+				return fmt.Errorf("walkstore: empty owner slot for node %d", v)
+			}
 		}
-		for id, c := range wantVisitors[v] {
-			if got := vs.count(id); got != c {
-				return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, got, c)
+		for d := 0; d < 2; d++ {
+			for v, x := range st.sidedVisits[d] {
+				if wantSidedVisits[d][v] != x {
+					return fmt.Errorf("walkstore: sidedVisits[%d][%d]=%d want %d", d, v, x, wantSidedVisits[d][v])
+				}
+			}
+			for v, x := range st.sidedTerminals[d] {
+				if wantSidedTerminals[d][v] != x {
+					return fmt.Errorf("walkstore: sidedTerminals[%d][%d]=%d want %d", d, v, x, wantSidedTerminals[d][v])
+				}
 			}
 		}
 	}
-	for v := range s.visitors {
-		if wantVisits[v] == 0 {
-			return fmt.Errorf("walkstore: stale visitor set for node %d", v)
-		}
+	if nVisits != len(wantVisits) {
+		return fmt.Errorf("walkstore: visit table has %d nodes, want %d", nVisits, len(wantVisits))
 	}
-	if len(wantTerminals) != len(s.terminals) {
-		return fmt.Errorf("walkstore: terminal table has %d nodes, want %d", len(s.terminals), len(wantTerminals))
+	if nTerminals != len(wantTerminals) {
+		return fmt.Errorf("walkstore: terminal table has %d nodes, want %d", nTerminals, len(wantTerminals))
 	}
-	for v, c := range wantTerminals {
-		if s.terminals[v] != c {
-			return fmt.Errorf("walkstore: terminals[%d]=%d want %d", v, s.terminals[v], c)
-		}
-	}
-	for id := range s.owned {
-		if len(s.owned[id]) == 0 {
-			return fmt.Errorf("walkstore: empty owner slot for node %d", id)
-		}
+	if stripeTotal != total {
+		return fmt.Errorf("walkstore: per-stripe visit shares sum to %d, want %d", stripeTotal, total)
 	}
 	for d := 0; d < 2; d++ {
-		if s.sidedTotals[d] != wantSidedTotals[d] {
-			return fmt.Errorf("walkstore: sidedTotals[%d]=%d want %d", d, s.sidedTotals[d], wantSidedTotals[d])
+		if nSidedVisits[d] != len(wantSidedVisits[d]) {
+			return fmt.Errorf("walkstore: sided visit table %d has %d nodes, want %d", d, nSidedVisits[d], len(wantSidedVisits[d]))
 		}
-		if len(s.sidedVisits[d]) != len(wantSidedVisits[d]) {
-			return fmt.Errorf("walkstore: sided visit table %d has %d nodes, want %d", d, len(s.sidedVisits[d]), len(wantSidedVisits[d]))
+		if nSidedTerminals[d] != len(wantSidedTerminals[d]) {
+			return fmt.Errorf("walkstore: sided terminal table %d has %d nodes, want %d", d, nSidedTerminals[d], len(wantSidedTerminals[d]))
 		}
-		for v, x := range wantSidedVisits[d] {
-			if s.sidedVisits[d][v] != x {
-				return fmt.Errorf("walkstore: sidedVisits[%d][%d]=%d want %d", d, v, s.sidedVisits[d][v], x)
-			}
+		if stripeSided[d] != wantSidedTotals[d] {
+			return fmt.Errorf("walkstore: per-stripe sided shares %d sum to %d, want %d", d, stripeSided[d], wantSidedTotals[d])
 		}
-		if len(s.sidedTerminals[d]) != len(wantSidedTerminals[d]) {
-			return fmt.Errorf("walkstore: sided terminal table %d has %d nodes, want %d", d, len(s.sidedTerminals[d]), len(wantSidedTerminals[d]))
-		}
-		for v, x := range wantSidedTerminals[d] {
-			if s.sidedTerminals[d][v] != x {
-				return fmt.Errorf("walkstore: sidedTerminals[%d][%d]=%d want %d", d, v, s.sidedTerminals[d][v], x)
-			}
-		}
-		for v := range s.ownedSided[d] {
-			if len(s.ownedSided[d][v]) == 0 {
-				return fmt.Errorf("walkstore: empty sided owner slot for node %d", v)
-			}
+		if got := s.sidedTotals[d].Load(); got != wantSidedTotals[d] {
+			return fmt.Errorf("walkstore: sidedTotals[%d]=%d want %d", d, got, wantSidedTotals[d])
 		}
 	}
 	return nil
