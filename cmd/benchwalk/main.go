@@ -31,6 +31,7 @@ import (
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strconv"
 	"strings"
@@ -83,7 +84,11 @@ type maintainerResult struct {
 // calls per query next to the Theorem 8 accounting ceiling those calls are
 // measured against.
 type salsaResult struct {
-	UpdateWorkers    int     `json:"update_workers"`
+	UpdateWorkers int `json:"update_workers"`
+	// LegacyScan marks the comparison replay that enumerates repair
+	// candidates by walking every visitor's full path (the pre-index scan)
+	// instead of the pending-position index.
+	LegacyScan       bool    `json:"legacy_scan,omitempty"`
 	BootstrapSeconds float64 `json:"bootstrap_seconds"`
 	StormSeconds     float64 `json:"storm_seconds"`
 	Edges            int     `json:"edges"`
@@ -122,6 +127,7 @@ type report struct {
 	GoVersion    string      `json:"go_version"`
 	GOMAXPROCS   int         `json:"gomaxprocs"`
 	NumCPU       int         `json:"num_cpu"`
+	GOGC         int         `json:"gogc,omitempty"`
 	Nodes        int         `json:"nodes"`
 	EdgesPerNode int         `json:"edges_per_node"`
 	GraphEdges   int         `json:"graph_edges"`
@@ -139,10 +145,15 @@ type report struct {
 	// SpeedupMaintainerStorm is max-worker storm throughput over the
 	// 1-worker (serialized) run.
 	SpeedupMaintainerStorm float64 `json:"speedup_maintainer_storm,omitempty"`
-	// SalsaStorms holds one entry per -updateworkers count (absent with
-	// -salsa=false).
+	// SalsaStorms holds one entry per -updateworkers count plus one
+	// legacy-scan comparison replay at the serialized worker count (absent
+	// with -salsa=false).
 	SalsaStorms       []salsaResult `json:"salsa_storms,omitempty"`
 	SpeedupSalsaStorm float64       `json:"speedup_salsa_storm,omitempty"`
+	// SpeedupIndexVsScan is serialized indexed-storm throughput over the
+	// legacy full-path-scan replay of the same arrivals — the pending-position
+	// index's headline win.
+	SpeedupIndexVsScan float64 `json:"speedup_index_vs_scan,omitempty"`
 	// ConcurrentQueries is the queries-racing-arrivals profile (absent with
 	// -salsa=false or -queries 0).
 	ConcurrentQueries *concurrentQueryResult `json:"concurrent_queries,omitempty"`
@@ -162,21 +173,53 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
 		mstorm   = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
 		dosalsa  = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
-		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile")
+		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile (0 skips the query profiles)")
 		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
+		verify   = flag.String("verify", "", "validate an existing report JSON (parses, non-zero throughputs) and exit")
+		gogc     = flag.Int("gogc", 300, "GOGC during the benchmark (walk stores churn arena garbage; recorded in the report)")
 	)
 	flag.Parse()
+	if *verify != "" {
+		if err := verifyReport(*verify); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchwalk: %s OK\n", *verify)
+		return
+	}
 	if *smoke {
 		*n, *d, *r, *updates = 2_000, 5, 4, 500
 		*queries, *qwalks = 5, 200
 	}
-	if *eps <= 0 || *eps > 1 {
-		fmt.Fprintf(os.Stderr, "benchwalk: -eps must be in (0, 1], got %g\n", *eps)
+	// Reject nonsense up front: an out-of-range parameter would not fail
+	// loudly here, it would hang the storm generator (-n < 2, -updates < 0)
+	// or write a silently corrupt BENCH_walkgen.json.
+	if *eps <= 0 || *eps >= 1 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -eps must be in (0, 1), got %g\n", *eps)
 		os.Exit(2)
 	}
 	if *n < 2 || *d < 1 || *r < 1 {
 		fmt.Fprintln(os.Stderr, "benchwalk: need -n >= 2, -d >= 1, -r >= 1")
 		os.Exit(2)
+	}
+	if *updates < 1 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -updates must be >= 1, got %d\n", *updates)
+		os.Exit(2)
+	}
+	if *queries < 0 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -queries must be >= 0, got %d\n", *queries)
+		os.Exit(2)
+	}
+	if *qwalks < 1 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -querywalks must be >= 1, got %d\n", *qwalks)
+		os.Exit(2)
+	}
+	if *gogc < 0 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -gogc must be >= 0 (0 leaves the runtime default), got %d\n", *gogc)
+		os.Exit(2)
+	}
+	if *gogc > 0 {
+		debug.SetGCPercent(*gogc)
 	}
 
 	p := runtime.GOMAXPROCS(0)
@@ -195,6 +238,7 @@ func main() {
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   p,
 		NumCPU:       runtime.NumCPU(),
+		GOGC:         *gogc,
 		Nodes:        *n,
 		EdgesPerNode: *d,
 		GraphEdges:   base.NumEdges(),
@@ -239,7 +283,7 @@ func main() {
 			if i == len(ucounts)-1 {
 				profile = *queries // query profile once, on the final store
 			}
-			res := benchSalsa(base, storm, *r, *eps, *seed, profile, *qwalks, uw)
+			res := benchSalsa(base, storm, *r, *eps, *seed, profile, *qwalks, uw, false)
 			rep.SalsaStorms = append(rep.SalsaStorms, res)
 			fmt.Printf("salsa storm uw=%-2d      %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived, %d noop)\n",
 				uw, res.StormSeconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived, res.SlowNoops)
@@ -253,6 +297,17 @@ func main() {
 			rep.SpeedupSalsaStorm = s[len(s)-1].EdgesPerSec / s[0].EdgesPerSec
 			fmt.Printf("salsa storm speedup %dw vs %dw: %.2fx\n",
 				s[len(s)-1].UpdateWorkers, s[0].UpdateWorkers, rep.SpeedupSalsaStorm)
+		}
+		// Indexed-vs-scan comparison: the same serialized storm with the
+		// pending-position index bypassed (full-path candidate enumeration).
+		legacy := benchSalsa(base, storm, *r, *eps, *seed, 0, *qwalks, ucounts[0], true)
+		legacy.LegacyScan = true
+		rep.SalsaStorms = append(rep.SalsaStorms, legacy)
+		fmt.Printf("salsa storm uw=%-2d scan %7.3fs (%.0f edges/s)   [legacy full-path scan]\n",
+			legacy.UpdateWorkers, legacy.StormSeconds, legacy.EdgesPerSec)
+		if legacy.EdgesPerSec > 0 {
+			rep.SpeedupIndexVsScan = rep.SalsaStorms[0].EdgesPerSec / legacy.EdgesPerSec
+			fmt.Printf("salsa index vs full scan (uw=%d): %.2fx\n", ucounts[0], rep.SpeedupIndexVsScan)
 		}
 		if *queries > 0 {
 			cq := benchConcurrentQueries(base, storm, *r, *eps, *seed, *queries, *qwalks, ucounts[len(ucounts)-1])
@@ -275,6 +330,51 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+// verifyReport loads a previously written report and checks it is sane: it
+// parses, every run is present, and every recorded throughput is positive.
+// CI runs it on the smoke report so a harness regression (bad flags, a
+// storm that silently did nothing) fails the build instead of committing a
+// corrupt BENCH_walkgen.json shape.
+func verifyReport(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return fmt.Errorf("%s does not parse as a benchwalk report: %w", path, err)
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("%s has no engine runs", path)
+	}
+	if rep.Nodes < 2 || rep.GraphEdges <= 0 {
+		return fmt.Errorf("%s records a degenerate graph (n=%d, edges=%d)", path, rep.Nodes, rep.GraphEdges)
+	}
+	for _, r := range rep.Runs {
+		if r.StepsPerSec <= 0 || r.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: engine run at %d workers has non-positive throughput (%v steps/s, %v edges/s)",
+				path, r.Workers, r.StepsPerSec, r.EdgesPerSec)
+		}
+	}
+	for _, m := range rep.MaintainerStorms {
+		if m.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: maintainer storm at uw=%d has non-positive throughput", path, m.UpdateWorkers)
+		}
+		if m.SlowNoops != 0 {
+			return fmt.Errorf("%s: maintainer storm at uw=%d broke the SlowNoops == 0 invariant (%d)", path, m.UpdateWorkers, m.SlowNoops)
+		}
+	}
+	for _, s := range rep.SalsaStorms {
+		if s.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: salsa storm at uw=%d has non-positive throughput", path, s.UpdateWorkers)
+		}
+		if s.SlowNoops != 0 {
+			return fmt.Errorf("%s: salsa storm at uw=%d broke the SlowNoops == 0 invariant (%d)", path, s.UpdateWorkers, s.SlowNoops)
+		}
+	}
+	return nil
 }
 
 // benchOne times store construction and the update storm at one worker
@@ -351,9 +451,9 @@ func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, 
 // clone, then (when queries > 0) profiles personalized queries from random
 // sources: wall-clock latency and the measured Social Store calls per query
 // against the Theorem 8 accounting ceiling.
-func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int) salsaResult {
+func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int, legacyScan bool) salsaResult {
 	soc := socialstore.New(base.Clone())
-	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw})
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw, LegacyScan: legacyScan})
 	t0 := time.Now()
 	mt.Bootstrap()
 	boot := time.Since(t0)

@@ -205,6 +205,17 @@ type UpdateStats struct {
 	Candidate int64 // segment visits examined (the paper's W(u) work bound)
 }
 
+// updState is one ApplyEdges worker's reusable buffers: regenerated tail,
+// stripe-lock keys, and the pending-position probe/freeze scratch.
+type updState struct {
+	tail  []graph.NodeID
+	keys  []uint64
+	idx   []int
+	hits  []walkstore.PosHit
+	segs  []walkstore.SegmentID
+	paths [][]graph.NodeID
+}
+
 // ApplyEdges replays edge arrivals through the paper's update rule using the
 // worker pool: for each arriving edge (u, v), after inserting it the new
 // out-degree of u is d, and every stored walk step leaving u is redirected
@@ -232,7 +243,7 @@ func (e *Engine) ApplyEdges(edges []graph.Edge, seed uint64) UpdateStats {
 			defer wg.Done()
 			rng := rand.New(rand.NewPCG(seed, uint64(worker)))
 			var local UpdateStats
-			var tail []graph.NodeID
+			var st updState
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(edges) {
@@ -241,7 +252,7 @@ func (e *Engine) ApplyEdges(edges []graph.Edge, seed uint64) UpdateStats {
 				ed := edges[i]
 				e.g.AddEdge(ed.From, ed.To)
 				local.Edges++
-				e.applyOne(ed, rng, &tail, &local)
+				e.applyOne(ed, rng, &st, &local)
 			}
 			statsMu.Lock()
 			stats.Edges += local.Edges
@@ -256,8 +267,13 @@ func (e *Engine) ApplyEdges(edges []graph.Edge, seed uint64) UpdateStats {
 	return stats
 }
 
-// applyOne reroutes the stored segments affected by one inserted edge.
-func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, tail *[]graph.NodeID, stats *UpdateStats) {
+// applyOne reroutes the stored segments affected by one inserted edge,
+// consuming the store's pending-position index: probe the visit positions at
+// u, freeze the hit segments under their SegmentID stripes, re-read the
+// index so every position is exact (another worker may have rerouted a
+// probed segment in between), then flip coins only at the stored steps the
+// new edge can actually capture instead of walking every visitor's path.
+func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, st *updState, stats *UpdateStats) {
 	u, v := ed.From, ed.To
 	d := e.g.OutDegree(u)
 	if d == 0 {
@@ -270,39 +286,62 @@ func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, tail *[]graph.NodeID, s
 	// terminal visit: a fresh walk arriving at u now continues with
 	// probability 1-eps, and its only possible step is the new edge.
 	firstEdge := d == 1
-	for _, id := range e.store.Visitors(u) {
-		mu := e.segMu.Of(uint64(id))
-		mu.Lock()
-		// Re-read under the stripe lock: another worker may have rerouted
-		// this segment since Visitors ran.
-		path := e.store.Path(id)
+	st.hits = e.store.AppendPendingPositions(st.hits[:0], u, walkstore.Unsided)
+	if len(st.hits) == 0 {
+		return
+	}
+	st.segs = walkstore.DistinctSegments(st.segs, st.hits)
+	st.keys = st.keys[:0]
+	for _, id := range st.segs {
+		st.keys = append(st.keys, uint64(id))
+	}
+	st.idx = e.segMu.LockKeys(st.keys, st.idx)
+	defer e.segMu.UnlockSet(st.idx)
+	if e.cfg.Workers > 1 {
+		// Another worker may have mutated a probed segment between the probe
+		// and the freeze; re-read now that the segments cannot move.
+		st.hits = e.store.AppendPendingPositions(st.hits[:0], u, walkstore.Unsided)
+		st.hits = walkstore.KeepSegments(st.hits, st.segs)
+	}
+	st.paths = e.store.AppendPaths(st.paths, st.segs)
+	g := 0
+	for i := 0; i < len(st.hits); {
+		id := st.hits[i].Seg
+		j := i
+		for j < len(st.hits) && st.hits[j].Seg == id {
+			j++
+		}
+		group := st.hits[i:j]
+		i = j
+		for st.segs[g] != id {
+			g++
+		}
+		path := st.paths[g]
 		reroute := -1
-		for pos := 0; pos < len(path)-1; pos++ {
+		for _, h := range group {
 			// Only non-terminal visits take an outgoing step that the new
 			// edge can capture.
-			if path[pos] != u {
+			if int(h.Pos) >= len(path)-1 {
 				continue
 			}
 			stats.Candidate++
 			if rng.Float64() < inv {
-				reroute = pos
+				reroute = int(h.Pos)
 				break
 			}
 		}
-		if reroute < 0 && firstEdge && path[len(path)-1] == u {
+		if reroute < 0 && firstEdge && int(group[len(group)-1].Pos) == len(path)-1 {
 			stats.Candidate++
 			if rng.Float64() >= e.cfg.Eps {
 				reroute = len(path) - 1
 			}
 		}
 		if reroute < 0 {
-			mu.Unlock()
 			continue
 		}
-		*tail = append((*tail)[:0], v)
-		*tail = walk.AppendContinue(e.g, v, e.cfg.Eps, rng, *tail)
-		removed, added := e.store.ReplaceTail(id, reroute+1, *tail)
-		mu.Unlock()
+		st.tail = append(st.tail[:0], v)
+		st.tail = walk.AppendContinue(e.g, v, e.cfg.Eps, rng, st.tail)
+		removed, added := e.store.ReplaceTail(id, reroute+1, st.tail)
 		stats.Rerouted++
 		stats.StepsOut += int64(removed)
 		stats.StepsIn += int64(added)

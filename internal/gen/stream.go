@@ -1,15 +1,27 @@
 package gen
 
 import (
+	"cmp"
 	"math/rand/v2"
+	"slices"
 
 	"fastppr/internal/graph"
 )
 
 // RandomPermutationStream returns g's edge set in uniformly random order —
 // the paper's arrival model (m adversarially chosen edges, random order).
+// The edge set is put in canonical (From, To) order before the seeded
+// shuffle: graph.Edges enumerates shard maps in unspecified order, and
+// shuffling a nondeterministic base order with a fixed-seed RNG silently
+// broke the fixed-seed reproducibility every statistical test relies on.
 func RandomPermutationStream(g *graph.Graph, rng *rand.Rand) []graph.Edge {
 	edges := g.Edges()
+	slices.SortFunc(edges, func(a, b graph.Edge) int {
+		if c := cmp.Compare(a.From, b.From); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.To, b.To)
+	})
 	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
 	return edges
 }

@@ -11,11 +11,14 @@
 // Adjacency is stored as append-only slices with swap-delete removal, so a
 // uniformly random neighbor is a single slice index.
 //
-// To keep that hot path scalable the adjacency tables are hash-partitioned
-// by NodeID into a power-of-two number of lock-striped shards: walkers whose
-// current nodes land on different shards never contend, and a Batcher
-// amortizes even the uncontended lock acquisition over a whole burst of
-// lockstep walkers. Operations that need a consistent global view (Edges,
+// To keep that hot path scalable the adjacency rows are partitioned by the
+// node ID's low bits into a power-of-two number of lock-striped shards, and
+// within a shard rows for dense IDs (the normal case — every generator and
+// the production allocator assign 0..n-1) live in a flat slot array, so a
+// degree read or neighbor pick is a slice index rather than a map lookup;
+// walkers whose current nodes land on different shards never contend, and a
+// Batcher amortizes even the uncontended lock acquisition over a whole
+// burst of lockstep walkers. Operations that need a consistent global view (Edges,
 // Clone, Validate, RandomEdge) lock every shard in index order. The shard
 // locks are the leaf level of the system-wide lock order
 // (docs/DESIGN.md#6-concurrency-model); the graph's place in the data flow

@@ -10,7 +10,10 @@ import (
 	"sync/atomic"
 )
 
-// NodeID identifies a node. IDs need not be dense or contiguous.
+// NodeID identifies a node. IDs need not be dense or contiguous, but dense
+// IDs (the normal case: every generator and the production ID allocator
+// assign 0..n-1) are served from flat per-shard row arrays instead of hash
+// maps — see shard below.
 type NodeID int64
 
 // Edge is a directed edge From -> To.
@@ -21,32 +24,101 @@ type Edge struct {
 // String implements fmt.Stringer.
 func (e Edge) String() string { return fmt.Sprintf("%d->%d", e.From, e.To) }
 
-// shard holds the adjacency rows of the nodes that hash to it. Both the
-// out-row and in-row of a node live on the node's own shard, so a single
-// shard lock covers every per-node read. The edges counter counts out-edges
-// whose source is on this shard (so the per-shard counters sum to the global
-// edge count).
+// denseLimit bounds the IDs served from dense row slots; rarer IDs at or
+// above it (or negative) fall back to the per-shard sparse map, so a wild ID
+// costs a map hit instead of gigabytes of slots.
+const denseLimit = 1 << 26
+
+// adjRow is one node's adjacency state: its out- and in-neighbor lists (both
+// on the node's own shard, so a single shard lock covers every per-node
+// read) and a presence flag distinguishing "known node with no edges" from
+// "never seen".
+type adjRow struct {
+	out, in []NodeID
+	present bool
+}
+
+// shard holds the adjacency rows of the nodes whose low ID bits select it.
+// Rows for IDs below denseLimit live in a flat slot array (slot = id divided
+// by the shard count), so the hot walk-step reads — degree, random neighbor
+// — are a slice index instead of a map lookup; sparse catches the rest. The
+// edges counter counts out-edges whose source is on this shard (so the
+// per-shard counters sum to the global edge count).
 type shard struct {
-	mu    sync.RWMutex
-	out   map[NodeID][]NodeID
-	in    map[NodeID][]NodeID
-	edges int64
+	mu     sync.RWMutex
+	dense  []adjRow
+	sparse map[NodeID]*adjRow
+	nodes  int
+	edges  int64
 	// Pad shards apart so the mutexes of neighboring shards do not share a
 	// cache line under write contention.
 	_ [48]byte
 }
 
-// Graph is a dynamic directed multigraph, hash-sharded by node. The zero
-// value is not usable; use New or NewWithShards. All methods are safe for
-// concurrent use.
+// row returns v's adjacency row, or nil when v is unknown. slotBits is the
+// graph's log2 shard count.
+func (sh *shard) row(v NodeID, slotBits uint) *adjRow {
+	if u := uint64(v); u < denseLimit {
+		if slot := u >> slotBits; slot < uint64(len(sh.dense)) {
+			if r := &sh.dense[slot]; r.present {
+				return r
+			}
+		}
+		return nil
+	}
+	return sh.sparse[v]
+}
+
+// rowCreate returns v's adjacency row, allocating it on first touch.
+func (sh *shard) rowCreate(v NodeID, slotBits uint) *adjRow {
+	if u := uint64(v); u < denseLimit {
+		slot := u >> slotBits
+		if slot >= uint64(len(sh.dense)) {
+			grown := make([]adjRow, max(int(slot)+1, 2*len(sh.dense)))
+			copy(grown, sh.dense)
+			sh.dense = grown
+		}
+		r := &sh.dense[slot]
+		if !r.present {
+			r.present = true
+			sh.nodes++
+		}
+		return r
+	}
+	r := sh.sparse[v]
+	if r == nil {
+		r = &adjRow{present: true}
+		sh.sparse[v] = r
+		sh.nodes++
+	}
+	return r
+}
+
+// each calls f for every known node's row. i is the shard index, needed to
+// reconstruct dense IDs (v = slot<<slotBits | i).
+func (sh *shard) each(i int, slotBits uint, f func(v NodeID, r *adjRow)) {
+	for slot := range sh.dense {
+		if r := &sh.dense[slot]; r.present {
+			f(NodeID(uint64(slot)<<slotBits|uint64(i)), r)
+		}
+	}
+	for v, r := range sh.sparse {
+		f(v, r)
+	}
+}
+
+// Graph is a dynamic directed multigraph, sharded by the low bits of the
+// node ID. The zero value is not usable; use New or NewWithShards. All
+// methods are safe for concurrent use.
 type Graph struct {
-	shards []shard
-	shift  uint // 64 - log2(len(shards)), for Fibonacci-hash shard selection
-	edges  atomic.Int64
+	shards   []shard
+	mask     uint64 // len(shards) - 1; shard of v is v & mask
+	slotBits uint   // log2(len(shards)); dense slot of v is v >> slotBits
+	edges    atomic.Int64
 }
 
 // New returns an empty graph with a shard count derived from GOMAXPROCS.
-// sizeHint pre-sizes the per-shard node tables and may be zero.
+// sizeHint pre-sizes the per-shard row tables and may be zero.
 func New(sizeHint int) *Graph {
 	p := runtime.GOMAXPROCS(0)
 	n := nextPow2(4 * p)
@@ -60,20 +132,23 @@ func New(sizeHint int) *Graph {
 }
 
 // NewWithShards returns an empty graph with an explicit shard count, rounded
-// up to a power of two. sizeHint pre-sizes the node tables and may be zero.
+// up to a power of two. sizeHint pre-sizes the row tables and may be zero.
 func NewWithShards(sizeHint, shards int) *Graph {
 	if shards < 1 {
 		shards = 1
 	}
 	n := nextPow2(shards)
 	g := &Graph{
-		shards: make([]shard, n),
-		shift:  uint(64 - bits.TrailingZeros(uint(n))),
+		mask:     uint64(n - 1),
+		slotBits: uint(bits.TrailingZeros(uint(n))),
 	}
+	g.shards = make([]shard, n)
 	per := sizeHint / n
 	for i := range g.shards {
-		g.shards[i].out = make(map[NodeID][]NodeID, per)
-		g.shards[i].in = make(map[NodeID][]NodeID, per)
+		// Pre-size with length, not capacity: rowCreate grows on slot >=
+		// len(dense), so spare capacity alone would never be used.
+		g.shards[i].dense = make([]adjRow, per)
+		g.shards[i].sparse = make(map[NodeID]*adjRow)
 	}
 	return g
 }
@@ -89,9 +164,9 @@ func nextPow2(n int) int {
 func (g *Graph) NumShards() int { return len(g.shards) }
 
 func (g *Graph) shardOf(v NodeID) int {
-	// Fibonacci hashing spreads sequential IDs across shards; the high bits
-	// select the shard.
-	return int((uint64(v) * 0x9e3779b97f4a7c15) >> g.shift)
+	// Low bits select the shard so dense IDs round-robin across shards and
+	// the per-shard slot (v >> slotBits) stays dense.
+	return int(uint64(v) & g.mask)
 }
 
 // lockAll / runlockAll acquire every shard in index order, the global lock
@@ -125,17 +200,8 @@ func (g *Graph) runlockAll() {
 func (g *Graph) AddNode(v NodeID) {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.Lock()
-	addNodeLocked(sh, v)
+	sh.rowCreate(v, g.slotBits)
 	sh.mu.Unlock()
-}
-
-func addNodeLocked(sh *shard, v NodeID) {
-	if _, ok := sh.out[v]; !ok {
-		sh.out[v] = nil
-	}
-	if _, ok := sh.in[v]; !ok {
-		sh.in[v] = nil
-	}
 }
 
 // lockPair locks the shards of u and v in index order and returns them.
@@ -169,10 +235,15 @@ func unlockPair(su, sv *shard) {
 // caller decides whether duplicates make sense for its workload.
 func (g *Graph) AddEdge(u, v NodeID) {
 	su, sv := g.lockPair(u, v)
-	addNodeLocked(su, u)
-	addNodeLocked(sv, v)
-	su.out[u] = append(su.out[u], v)
-	sv.in[v] = append(sv.in[v], u)
+	// Create both rows before taking either pointer: growing a shard's dense
+	// array relocates its rows, so a pointer taken before the second
+	// rowCreate could dangle when u and v share a shard.
+	su.rowCreate(u, g.slotBits)
+	sv.rowCreate(v, g.slotBits)
+	ru := su.row(u, g.slotBits)
+	rv := sv.row(v, g.slotBits)
+	ru.out = append(ru.out, v)
+	rv.in = append(rv.in, u)
 	su.edges++
 	g.edges.Add(1)
 	unlockPair(su, sv)
@@ -183,10 +254,12 @@ func (g *Graph) AddEdge(u, v NodeID) {
 func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	su, sv := g.lockPair(u, v)
 	defer unlockPair(su, sv)
-	if !removeOne(su.out, u, v) {
+	ru := su.row(u, g.slotBits)
+	if ru == nil || !removeOne(&ru.out, v) {
 		return false
 	}
-	if !removeOne(sv.in, v, u) {
+	rv := sv.row(v, g.slotBits)
+	if rv == nil || !removeOne(&rv.in, u) {
 		// The two adjacency tables are updated together, so a missing
 		// reverse entry means internal corruption.
 		panic("graph: adjacency tables out of sync")
@@ -196,13 +269,12 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 	return true
 }
 
-// removeOne swap-deletes the first occurrence of target in adj[key].
-func removeOne(adj map[NodeID][]NodeID, key, target NodeID) bool {
-	s := adj[key]
-	for i, x := range s {
+// removeOne swap-deletes the first occurrence of target in *s.
+func removeOne(s *[]NodeID, target NodeID) bool {
+	for i, x := range *s {
 		if x == target {
-			s[i] = s[len(s)-1]
-			adj[key] = s[:len(s)-1]
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
 			return true
 		}
 	}
@@ -214,10 +286,8 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	sh := &g.shards[g.shardOf(u)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for _, x := range sh.out[u] {
-		if x == v {
-			return true
-		}
+	if r := sh.row(u, g.slotBits); r != nil {
+		return slices.Contains(r.out, v)
 	}
 	return false
 }
@@ -226,7 +296,7 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 func (g *Graph) HasNode(v NodeID) bool {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
-	_, ok := sh.out[v]
+	ok := sh.row(v, g.slotBits) != nil
 	sh.mu.RUnlock()
 	return ok
 }
@@ -238,7 +308,7 @@ func (g *Graph) NumNodes() int {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		n += len(sh.out)
+		n += sh.nodes
 		sh.mu.RUnlock()
 	}
 	return n
@@ -266,7 +336,10 @@ func (g *Graph) ShardEdges() []int64 {
 func (g *Graph) OutDegree(v NodeID) int {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
-	d := len(sh.out[v])
+	d := 0
+	if r := sh.row(v, g.slotBits); r != nil {
+		d = len(r.out)
+	}
 	sh.mu.RUnlock()
 	return d
 }
@@ -275,7 +348,10 @@ func (g *Graph) OutDegree(v NodeID) int {
 func (g *Graph) InDegree(v NodeID) int {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
-	d := len(sh.in[v])
+	d := 0
+	if r := sh.row(v, g.slotBits); r != nil {
+		d = len(r.in)
+	}
 	sh.mu.RUnlock()
 	return d
 }
@@ -285,7 +361,10 @@ func (g *Graph) OutNeighbors(v NodeID) []NodeID {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return append([]NodeID(nil), sh.out[v]...)
+	if r := sh.row(v, g.slotBits); r != nil {
+		return append([]NodeID(nil), r.out...)
+	}
+	return nil
 }
 
 // InNeighbors returns a copy of v's in-neighbor list.
@@ -293,7 +372,10 @@ func (g *Graph) InNeighbors(v NodeID) []NodeID {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return append([]NodeID(nil), sh.in[v]...)
+	if r := sh.row(v, g.slotBits); r != nil {
+		return append([]NodeID(nil), r.in...)
+	}
+	return nil
 }
 
 // RandomOutNeighbor returns a uniformly random out-neighbor of v. ok is false
@@ -302,11 +384,11 @@ func (g *Graph) RandomOutNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) 
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	s := sh.out[v]
-	if len(s) == 0 {
+	r := sh.row(v, g.slotBits)
+	if r == nil || len(r.out) == 0 {
 		return 0, false
 	}
-	return s[rng.IntN(len(s))], true
+	return r.out[rng.IntN(len(r.out))], true
 }
 
 // RandomInNeighbor returns a uniformly random in-neighbor of v. ok is false
@@ -315,11 +397,11 @@ func (g *Graph) RandomInNeighbor(v NodeID, rng *rand.Rand) (w NodeID, ok bool) {
 	sh := &g.shards[g.shardOf(v)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	s := sh.in[v]
-	if len(s) == 0 {
+	r := sh.row(v, g.slotBits)
+	if r == nil || len(r.in) == 0 {
 		return 0, false
 	}
-	return s[rng.IntN(len(s))], true
+	return r.in[rng.IntN(len(r.in))], true
 }
 
 // Batcher amortizes shard-lock acquisition over a burst of lockstep walkers.
@@ -359,12 +441,12 @@ func (b *Batcher) RandomOutNeighbors(cur, next []NodeID, ok []bool, rng *rand.Ra
 		sh := &b.g.shards[s]
 		sh.mu.RLock()
 		for _, i := range idx {
-			outs := sh.out[cur[i]]
-			if len(outs) == 0 {
+			r := sh.row(cur[i], b.g.slotBits)
+			if r == nil || len(r.out) == 0 {
 				ok[i] = false
 				continue
 			}
-			next[i] = outs[rng.IntN(len(outs))]
+			next[i] = r.out[rng.IntN(len(r.out))]
 			ok[i] = true
 		}
 		sh.mu.RUnlock()
@@ -378,9 +460,9 @@ func (g *Graph) Nodes() []NodeID {
 	for i := range g.shards {
 		sh := &g.shards[i]
 		sh.mu.RLock()
-		for v := range sh.out {
+		sh.each(i, g.slotBits, func(v NodeID, _ *adjRow) {
 			nodes = append(nodes, v)
-		}
+		})
 		sh.mu.RUnlock()
 	}
 	slices.Sort(nodes)
@@ -394,11 +476,11 @@ func (g *Graph) Edges() []Edge {
 	defer g.runlockAll()
 	edges := make([]Edge, 0, g.edges.Load())
 	for i := range g.shards {
-		for u, outs := range g.shards[i].out {
-			for _, v := range outs {
+		g.shards[i].each(i, g.slotBits, func(u NodeID, r *adjRow) {
+			for _, v := range r.out {
 				edges = append(edges, Edge{u, v})
 			}
-		}
+		})
 	}
 	return edges
 }
@@ -407,18 +489,32 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	g.rlockAll()
 	defer g.runlockAll()
-	c := &Graph{shards: make([]shard, len(g.shards)), shift: g.shift}
+	c := &Graph{mask: g.mask, slotBits: g.slotBits}
+	c.shards = make([]shard, len(g.shards))
 	var total int64
 	for i := range g.shards {
 		src, dst := &g.shards[i], &c.shards[i]
-		dst.out = make(map[NodeID][]NodeID, len(src.out))
-		for u, outs := range src.out {
-			dst.out[u] = append([]NodeID(nil), outs...)
+		dst.dense = make([]adjRow, len(src.dense))
+		for slot := range src.dense {
+			r := &src.dense[slot]
+			if !r.present {
+				continue
+			}
+			dst.dense[slot] = adjRow{
+				out:     append([]NodeID(nil), r.out...),
+				in:      append([]NodeID(nil), r.in...),
+				present: true,
+			}
 		}
-		dst.in = make(map[NodeID][]NodeID, len(src.in))
-		for v, ins := range src.in {
-			dst.in[v] = append([]NodeID(nil), ins...)
+		dst.sparse = make(map[NodeID]*adjRow, len(src.sparse))
+		for v, r := range src.sparse {
+			dst.sparse[v] = &adjRow{
+				out:     append([]NodeID(nil), r.out...),
+				in:      append([]NodeID(nil), r.in...),
+				present: true,
+			}
 		}
+		dst.nodes = src.nodes
 		dst.edges = src.edges
 		total += src.edges
 	}
@@ -438,65 +534,74 @@ func (g *Graph) RandomEdge(rng *rand.Rand) (e Edge, ok bool) {
 		return Edge{}, false
 	}
 	k := rng.IntN(total)
+	found := false
 	for i := range g.shards {
-		for u, outs := range g.shards[i].out {
-			if k < len(outs) {
-				return Edge{u, outs[k]}, true
-			}
-			k -= len(outs)
+		if found {
+			break
 		}
+		g.shards[i].each(i, g.slotBits, func(u NodeID, r *adjRow) {
+			if found {
+				return
+			}
+			if k < len(r.out) {
+				e = Edge{u, r.out[k]}
+				found = true
+				return
+			}
+			k -= len(r.out)
+		})
 	}
-	panic("graph: edge count out of sync")
+	if !found {
+		panic("graph: edge count out of sync")
+	}
+	return e, true
 }
 
 // Validate checks internal invariants (forward/backward adjacency agreement,
-// shard placement, and the edge counters). Intended for tests and debugging;
-// O(m log m).
+// shard/slot placement, and the edge counters). Intended for tests and
+// debugging; O(m log m).
 func (g *Graph) Validate() error {
 	g.rlockAll()
 	defer g.runlockAll()
 	fwd, bwd := 0, 0
-	var perShard int64
+	var err error
+	count := make(map[Edge]int)
 	for i := range g.shards {
 		sh := &g.shards[i]
 		var shFwd int64
-		for u, outs := range sh.out {
-			if g.shardOf(u) != i {
-				return fmt.Errorf("graph: node %d out-row on shard %d, want %d", u, i, g.shardOf(u))
+		nodes := 0
+		sh.each(i, g.slotBits, func(v NodeID, r *adjRow) {
+			nodes++
+			if err == nil && g.shardOf(v) != i {
+				err = fmt.Errorf("graph: node %d row on shard %d, want %d", v, i, g.shardOf(v))
 			}
-			shFwd += int64(len(outs))
+			if err == nil && uint64(v) >= denseLimit {
+				if _, ok := sh.sparse[v]; !ok {
+					err = fmt.Errorf("graph: node %d outside dense range but not in sparse table", v)
+				}
+			}
+			shFwd += int64(len(r.out))
+			bwd += len(r.in)
+			for _, w := range r.out {
+				count[Edge{v, w}]++
+			}
+			for _, u := range r.in {
+				count[Edge{u, v}]--
+			}
+		})
+		if err != nil {
+			return err
 		}
-		for v := range sh.in {
-			if g.shardOf(v) != i {
-				return fmt.Errorf("graph: node %d in-row on shard %d, want %d", v, i, g.shardOf(v))
-			}
-			bwd += len(sh.in[v])
+		if nodes != sh.nodes {
+			return fmt.Errorf("graph: shard %d tracks %d nodes, found %d", i, sh.nodes, nodes)
 		}
 		if shFwd != sh.edges {
 			return fmt.Errorf("graph: shard %d counter=%d want %d", i, sh.edges, shFwd)
 		}
 		fwd += int(shFwd)
-		perShard += sh.edges
-		// Every node must have both rows present on its shard.
-		if len(sh.out) != len(sh.in) {
-			return fmt.Errorf("graph: shard %d has %d out-rows, %d in-rows", i, len(sh.out), len(sh.in))
-		}
 	}
 	if fwd != bwd || int64(fwd) != g.edges.Load() {
 		return fmt.Errorf("graph: edge counts disagree: out=%d in=%d counter=%d", fwd, bwd, g.edges.Load())
-	}
-	count := make(map[Edge]int, fwd)
-	for i := range g.shards {
-		for u, outs := range g.shards[i].out {
-			for _, v := range outs {
-				count[Edge{u, v}]++
-			}
-		}
-		for v, ins := range g.shards[i].in {
-			for _, u := range ins {
-				count[Edge{u, v}]--
-			}
-		}
 	}
 	for e, c := range count {
 		if c != 0 {

@@ -1,0 +1,80 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// TestDegenerateStoreQueries sweeps Estimate/TopK/ApproxAll against the two
+// degenerate stores the total==0 guards exist for: a never-bootstrapped
+// maintainer and a bootstrapped all-dangling graph (every stored segment is
+// a single node, so every visit is terminal). No panic, no NaN, no silent
+// zero where a defined score exists.
+func TestDegenerateStoreQueries(t *testing.T) {
+	const n = 6
+	cases := []struct {
+		name      string
+		bootstrap bool
+		wantScore float64 // expected Estimate of a live node
+	}{
+		{name: "never-bootstrapped", bootstrap: false, wantScore: 0},
+		{name: "all-dangling", bootstrap: true, wantScore: 1.0 / n},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mt, _ := newMaintainer(n, Config{Eps: 0.3, R: 4, Seed: 7})
+			if tc.bootstrap {
+				mt.Bootstrap()
+			}
+			for v := graph.NodeID(0); v < n; v++ {
+				if got := mt.Estimate(v); got != tc.wantScore {
+					t.Fatalf("Estimate(%d)=%v want %v", v, got, tc.wantScore)
+				}
+			}
+			if got := mt.Estimate(999); got != 0 {
+				t.Fatalf("Estimate(unknown)=%v", got)
+			}
+			all := mt.ApproxAll()
+			wantLen := 0
+			if tc.bootstrap {
+				wantLen = n
+			}
+			if len(all) != wantLen {
+				t.Fatalf("ApproxAll has %d nodes, want %d", len(all), wantLen)
+			}
+			var sum float64
+			for v, x := range all {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("ApproxAll[%d]=%v", v, x)
+				}
+				sum += x
+			}
+			if tc.bootstrap && math.Abs(sum-1) > 1e-12 {
+				t.Fatalf("ApproxAll sums to %v, want 1", sum)
+			}
+			// k far beyond the live node count must truncate, not pad or panic.
+			top := mt.TopK(10 * n)
+			if len(top) != wantLen {
+				t.Fatalf("TopK(%d) returned %d items, want %d", 10*n, len(top), wantLen)
+			}
+			for _, it := range top {
+				if math.IsNaN(it.Score) {
+					t.Fatalf("TopK NaN score for node %d", it.Node)
+				}
+			}
+			// An edge arrival into the degenerate store must not panic either:
+			// on the empty store both repair phases are EmptySkips; on the
+			// all-dangling store it is the first-out-edge revival of node 0.
+			mt.ApplyEdge(graph.Edge{From: 0, To: 1})
+			if err := mt.Store().Validate(); err != nil {
+				t.Fatal(err)
+			}
+			c := mt.Counters()
+			if c.SlowNoops != 0 {
+				t.Fatalf("SlowNoops=%d after degenerate arrival", c.SlowNoops)
+			}
+		})
+	}
+}

@@ -22,16 +22,25 @@
 // and every non-skipped arrival performs real work — the argument is
 // docs/DESIGN.md#3-the-lossless-wv-fast-path.
 //
+// On heads, the repair scan enumerates its candidates from the walk
+// store's pending-position index — the exact (segment, position) pairs of
+// stored visits at the source, in the same ascending order the pre-index
+// full-path scan produced — so a slow path costs O(hits) rather than
+// O(visitors × path length); Config.LegacyScan keeps the old enumeration
+// alive for the bitwise-equivalence test and benchmarks
+// (docs/DESIGN.md#7-the-pending-position-index).
+//
 // Updates run serialized by default (bitwise reproducible per seed) or
 // concurrently with Config.UpdateWorkers > 1: arrivals are serialized per
 // source stripe (out-degree only moves on arrivals from that source, so the
 // degree read stays exact), the affected segments are frozen under
-// SegmentID stripe locks before each repair scan, and the scan retries
-// against the frozen enumeration if cross-stripe interference moved the
-// candidate count — so SlowNoops == 0 survives parallelism, at the
-// documented price of per-seed reproducibility relaxing to distributional
-// equivalence. Lock order, stripe-consistency argument, and that relaxation
-// are docs/DESIGN.md#6-concurrency-model.
+// SegmentID stripe locks before each repair scan (the index re-read under
+// the freeze keeps every hit position exact), and the scan retries against
+// the frozen enumeration if cross-stripe interference moved the candidate
+// count — so SlowNoops == 0 survives parallelism, at the documented price
+// of per-seed reproducibility relaxing to distributional equivalence. Lock
+// order, stripe-consistency argument, and that relaxation are
+// docs/DESIGN.md#6-concurrency-model.
 //
 // All graph access on the update path — the edge write, the degree lookup,
 // and every step of regenerated walk tails — is routed through

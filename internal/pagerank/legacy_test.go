@@ -1,0 +1,51 @@
+package pagerank
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+)
+
+// TestIndexedScanMatchesLegacy pins the pending-position index rewrite at
+// its strongest: the indexed reroute/revive scans enumerate the identical
+// (segment, position) order the legacy full-path scans did and consume the
+// RNG identically, so a fixed-seed serialized storm must produce
+// bitwise-identical estimates and update counters with the index on or off.
+func TestIndexedScanMatchesLegacy(t *testing.T) {
+	n, updates := 150, 800
+	if testing.Short() {
+		n, updates = 80, 300
+	}
+	run := func(legacy bool) (map[graph.NodeID]float64, Counters) {
+		mt, _ := newMaintainer(n, Config{Eps: 0.2, R: 5, Workers: 1, Seed: 71, LegacyScan: legacy})
+		mt.Bootstrap()
+		rng := rand.New(rand.NewPCG(72, 0))
+		edges := gen.DirichletStream(n, updates, rng)
+		mt.ApplyEdges(edges)
+		if err := mt.Store().Validate(); err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		return mt.ApproxAll(), mt.Counters()
+	}
+
+	gotIdx, cntIdx := run(false)
+	gotLeg, cntLeg := run(true)
+	// Estimates is read-path accounting; ApproxAll bumps it identically on
+	// both runs, so whole-struct equality is still exact.
+	if cntIdx != cntLeg {
+		t.Fatalf("counters diverged:\nindexed %+v\nlegacy  %+v", cntIdx, cntLeg)
+	}
+	if cntIdx.SlowNoops != 0 {
+		t.Fatalf("SlowNoops=%d, want 0", cntIdx.SlowNoops)
+	}
+	if len(gotIdx) != len(gotLeg) {
+		t.Fatalf("estimate vectors differ in size: %d vs %d", len(gotIdx), len(gotLeg))
+	}
+	for v, x := range gotLeg {
+		if gotIdx[v] != x {
+			t.Fatalf("estimate[%d]=%v indexed, %v legacy", v, gotIdx[v], x)
+		}
+	}
+}

@@ -41,6 +41,15 @@ type Config struct {
 	// are drawn from the same distribution either way; the flag exists so
 	// tests and benchmarks can demonstrate that.
 	DisableFastPath bool
+	// LegacyScan makes repair phases enumerate candidates the pre-index way:
+	// fetch every visitor of the arrival's source and walk its full path.
+	// The default consumes the store's pending-position index instead —
+	// O(hits) per phase rather than O(visitors × path length). Both paths
+	// enumerate candidates in the identical (segment, position) order and
+	// consume the RNG identically, so a fixed-seed serialized run is bitwise
+	// the same either way; the flag exists for benchmarks and the
+	// equivalence test, not for production use.
+	LegacyScan bool
 }
 
 // Counters is a snapshot of the maintainer's update-path accounting.
@@ -104,10 +113,13 @@ const (
 // updater is one update goroutine's private state: its RNG and reusable
 // buffers. The serialized path owns one; each parallel worker gets its own.
 type updater struct {
-	rng  *rand.Rand
-	tail []graph.NodeID
-	keys []uint64
-	idx  []int
+	rng   *rand.Rand
+	tail  []graph.NodeID
+	keys  []uint64
+	idx   []int
+	hits  []walkstore.PosHit
+	segs  []walkstore.SegmentID
+	paths [][]graph.NodeID
 }
 
 func newUpdater(rng *rand.Rand) *updater { return &updater{rng: rng} }
@@ -293,11 +305,15 @@ func (m *Maintainer) reroute(u, v graph.NodeID, d int, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	ids := sortedVisitors(m.walks, u)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(u, w)
 	defer m.segMu.UnlockSet(held)
 	for {
-		rerouted, seen := m.rerouteScan(ids, u, v, inv, first, w)
+		var rerouted, seen int64
+		if m.cfg.LegacyScan {
+			rerouted, seen = m.rerouteScan(ids, u, v, inv, first, w)
+		} else {
+			rerouted, seen = m.rerouteScanIndexed(hits, v, inv, first, w)
+		}
 		switch {
 		case rerouted > 0:
 			m.cnt.slowPaths.Add(1)
@@ -313,6 +329,44 @@ func (m *Maintainer) reroute(u, v graph.NodeID, d int, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, inv, seen)
 	}
+}
+
+// freeze prepares one repair phase's enumeration over u's stored visits: it
+// reads the candidate source (the pending-position index by default, the
+// full visitor set with LegacyScan), locks the involved segments under the
+// SegmentID stripes, and — on the parallel path — re-reads the index under
+// those locks so every hit position is exact, dropping hits of segments
+// another worker rerouted into u after the probe (they are simply not part
+// of this arrival's frozen enumeration, exactly like a segment missing from
+// the pre-index frozen visitor set). Exactly one of ids/hits is non-nil.
+func (m *Maintainer) freeze(u graph.NodeID, w *updater) (ids []walkstore.SegmentID, hits []walkstore.PosHit, held []int) {
+	if m.cfg.LegacyScan {
+		ids = sortedVisitors(m.walks, u)
+		return ids, nil, w.lockSegments(m.segMu, ids)
+	}
+	w.hits = m.walks.AppendPendingPositions(w.hits[:0], u, walkstore.Unsided)
+	w.segs = walkstore.DistinctSegments(w.segs, w.hits)
+	held = w.lockSegments(m.segMu, w.segs)
+	if m.cfg.UpdateWorkers > 1 {
+		// Another worker may have mutated a probed segment between the probe
+		// and the freeze; re-read now that the segments cannot move.
+		w.hits = m.walks.AppendPendingPositions(w.hits[:0], u, walkstore.Unsided)
+		w.hits = walkstore.KeepSegments(w.hits, w.segs)
+	}
+	// Bulk-fetch the frozen segments' paths under one segment-lock
+	// acquisition; the scans walk them via a cursor over w.segs.
+	w.paths = m.walks.AppendPaths(w.paths, w.segs)
+	return nil, w.hits, held
+}
+
+// groupPath returns the frozen path of segment id, advancing the scan's
+// cursor over the (sorted) frozen segment set. Hit groups arrive in
+// ascending segment order, so the cursor only ever moves forward.
+func groupPath(w *updater, g *int, id walkstore.SegmentID) []graph.NodeID {
+	for w.segs[*g] != id {
+		*g++
+	}
+	return w.paths[*g]
 }
 
 // rerouteScan runs one coin-flip pass over the frozen segments, returning
@@ -348,6 +402,47 @@ func (m *Maintainer) rerouteScan(ids []walkstore.SegmentID, u, v graph.NodeID, i
 	return rerouted, idx
 }
 
+// rerouteScanIndexed runs one coin-flip pass over the frozen pending-position
+// hits of the arrival's source. Hits arrive sorted by (segment, position) —
+// the same enumeration order the legacy full-path scan produces — so the
+// pre-sampled first-switch index means the same candidate under either scan.
+// Only the non-terminal hits are candidates; a segment's hits after its own
+// reroute this pass are superseded but keep their enumeration slots.
+func (m *Maintainer) rerouteScanIndexed(hits []walkstore.PosHit, v graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
+	idx := int64(0)
+	g := 0
+	for i := 0; i < len(hits); {
+		id := hits[i].Seg
+		j := i
+		for j < len(hits) && hits[j].Seg == id {
+			j++
+		}
+		p := groupPath(w, &g, id) // stable: ReplaceTail relocates, never mutates
+		pos := -1
+		for _, h := range hits[i:j] {
+			hp := int(h.Pos)
+			if hp >= len(p)-1 {
+				continue // terminal visit: no outgoing step to capture
+			}
+			if pos >= 0 {
+				idx++ // superseded by this segment's reroute; slot still counts
+				continue
+			}
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
+				pos = hp
+			}
+			idx++
+		}
+		i = j
+		if pos < 0 {
+			continue
+		}
+		m.redirect(id, pos+1, v, w)
+		rerouted++
+	}
+	return rerouted, idx
+}
+
 // revive repairs stored walks after u gained its very first out-edge. While
 // u was dangling every walk reaching it died there, so all stored visits to
 // u are terminal; each such walk now continues with probability 1-eps,
@@ -368,11 +463,15 @@ func (m *Maintainer) revive(u, v graph.NodeID, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, 1-eps, t)
 	}
-	ids := sortedVisitors(m.walks, u)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(u, w)
 	defer m.segMu.UnlockSet(held)
 	for {
-		revived, seen := m.reviveScan(ids, u, v, eps, first, w)
+		var revived, seen int64
+		if m.cfg.LegacyScan {
+			revived, seen = m.reviveScan(ids, u, v, eps, first, w)
+		} else {
+			revived, seen = m.reviveScanIndexed(hits, v, eps, first, w)
+		}
 		switch {
 		case revived > 0:
 			m.cnt.slowPaths.Add(1)
@@ -406,6 +505,37 @@ func (m *Maintainer) reviveScan(ids []walkstore.SegmentID, u, v graph.NodeID, ep
 		}
 		m.redirect(id, len(p), v, w)
 		revived++
+	}
+	return revived, idx
+}
+
+// reviveScanIndexed is reviveScan over frozen pending-position hits: the
+// terminal hit of each segment (position == last path index) is the revival
+// candidate, enumerated in the same ascending-segment order as the legacy
+// visitor scan.
+func (m *Maintainer) reviveScanIndexed(hits []walkstore.PosHit, v graph.NodeID, eps float64, first int64, w *updater) (revived, seen int64) {
+	idx := int64(0)
+	g := 0
+	for i := 0; i < len(hits); {
+		id := hits[i].Seg
+		j := i
+		for j < len(hits) && hits[j].Seg == id {
+			j++
+		}
+		p := groupPath(w, &g, id)
+		for _, h := range hits[i:j] {
+			if int(h.Pos) != len(p)-1 {
+				continue // not a terminal visit; impossible while u was dangling
+			}
+			cont := stats.FirstSuccessHit(w.rng, first, idx, 1-eps)
+			idx++
+			if cont {
+				m.redirect(id, len(p), v, w)
+				revived++
+			}
+			break // at most one terminal hit per segment
+		}
+		i = j
 	}
 	return revived, idx
 }

@@ -1,0 +1,114 @@
+package salsa
+
+import (
+	"math"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// checkFinite fails on any NaN/Inf in a score map — the failure mode a
+// zero-total division would produce.
+func checkFinite(t *testing.T, name string, scores map[graph.NodeID]float64) {
+	t.Helper()
+	for v, x := range scores {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("%s[%d]=%v", name, v, x)
+		}
+	}
+}
+
+// TestDegenerateStoreQueries sweeps the whole query surface against the two
+// degenerate stores the total==0 guards exist for: a maintainer that was
+// never bootstrapped (store empty, graph populated) and a bootstrapped
+// all-dangling graph (every stored segment is a single node). Every call
+// must return finite, sensible values — no panic, no NaN, no silent zero
+// where a defined score exists.
+func TestDegenerateStoreQueries(t *testing.T) {
+	const n = 5
+	mkGraph := func() *graph.Graph {
+		g := graph.New(n)
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		return g
+	}
+	cases := []struct {
+		name      string
+		bootstrap bool
+		// wantScore is the expected global estimate of a live node: 0 on an
+		// empty store (nothing stored, nothing to normalize), 1/n on the
+		// all-dangling bootstrap (every node stores R single-node segments
+		// per side, so each side's mass splits evenly).
+		wantScore float64
+	}{
+		{name: "never-bootstrapped", bootstrap: false, wantScore: 0},
+		{name: "all-dangling", bootstrap: true, wantScore: 1.0 / n},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mt, _ := newMaintainer(mkGraph(), Config{Eps: 0.3, R: 4, QueryWalks: 32, Seed: 7})
+			if tc.bootstrap {
+				mt.Bootstrap()
+			}
+			for v := graph.NodeID(0); v < n; v++ {
+				if got := mt.AuthorityEstimate(v); got != tc.wantScore {
+					t.Fatalf("AuthorityEstimate(%d)=%v want %v", v, got, tc.wantScore)
+				}
+				if got := mt.HubEstimate(v); got != tc.wantScore {
+					t.Fatalf("HubEstimate(%d)=%v want %v", v, got, tc.wantScore)
+				}
+			}
+			// Unknown node: defined, zero, not NaN.
+			if got := mt.AuthorityEstimate(999); got != 0 {
+				t.Fatalf("AuthorityEstimate(unknown)=%v", got)
+			}
+			auth, hub := mt.AuthorityAll(), mt.HubAll()
+			checkFinite(t, "AuthorityAll", auth)
+			checkFinite(t, "HubAll", hub)
+			wantLen := 0
+			if tc.bootstrap {
+				wantLen = n
+			}
+			if len(auth) != wantLen || len(hub) != wantLen {
+				t.Fatalf("AuthorityAll/HubAll sizes %d/%d, want %d", len(auth), len(hub), wantLen)
+			}
+			// k far beyond the live node count must truncate, not pad or panic.
+			top := mt.TopKAuthorities(10 * n)
+			if len(top) != wantLen {
+				t.Fatalf("TopKAuthorities(%d) returned %d items, want %d", 10*n, len(top), wantLen)
+			}
+			for _, it := range top {
+				if math.IsNaN(it.Score) {
+					t.Fatalf("TopKAuthorities NaN score for node %d", it.Node)
+				}
+			}
+
+			q := mt.Personalized(0)
+			st := q.Stats()
+			if st.StoreCalls != st.BareSteps {
+				t.Fatalf("query call accounting drifted: %+v", st)
+			}
+			if got := q.Authority(0); got != 0 {
+				// No walk can take a backward step on an edgeless graph, so
+				// every personalized authority score is a defined zero.
+				t.Fatalf("Authority(0)=%v on edgeless graph", got)
+			}
+			// The source is hub-visited by every walk, so its personalized
+			// hub score must be a real positive fraction, not a silent zero.
+			if got := q.Hub(0); got != 1 {
+				t.Fatalf("Hub(source)=%v want 1 (only hub visits are the source's own)", got)
+			}
+			checkFinite(t, "AuthorityAll(query)", q.AuthorityAll())
+			if got := q.TopK(3 * n); len(got) != 0 {
+				t.Fatalf("personalized TopK on edgeless graph=%v", got)
+			}
+			if got := mt.Authority(0, 1); got != 0 {
+				t.Fatalf("Authority(0,1)=%v", got)
+			}
+			if err := mt.Store().Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

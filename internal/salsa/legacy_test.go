@@ -1,0 +1,65 @@
+package salsa
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+)
+
+// TestIndexedScanMatchesLegacy pins the strongest property of the
+// pending-position index rewrite: the indexed repair scans enumerate
+// candidates in exactly the (segment, position) order the legacy full-path
+// scans did and consume the RNG identically, so a fixed-seed serialized
+// storm must produce bitwise-identical stores, score vectors, and update
+// counters with the index on or off — not merely the same distribution.
+func TestIndexedScanMatchesLegacy(t *testing.T) {
+	n, updates := 120, 500
+	if testing.Short() {
+		n, updates = 60, 200
+	}
+	run := func(legacy bool) (map[graph.NodeID]float64, map[graph.NodeID]float64, Counters) {
+		rng := rand.New(rand.NewPCG(91, 0))
+		full := gen.PreferentialAttachment(n, 4, rng)
+		stream := gen.RandomPermutationStream(full, rng)
+		prefix, suffix := gen.SplitStream(stream, 0.5)
+		if len(suffix) > updates {
+			suffix = suffix[:updates]
+		}
+		g := gen.BuildFromStream(prefix)
+		for i := 0; i < n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		mt, _ := newMaintainer(g, Config{Eps: 0.2, R: 6, Workers: 1, Seed: 92, LegacyScan: legacy})
+		mt.Bootstrap()
+		mt.ApplyEdges(suffix)
+		if err := mt.Store().Validate(); err != nil {
+			t.Fatalf("legacy=%v: %v", legacy, err)
+		}
+		return mt.AuthorityAll(), mt.HubAll(), mt.Counters()
+	}
+
+	authIdx, hubIdx, cntIdx := run(false)
+	authLeg, hubLeg, cntLeg := run(true)
+	if cntIdx != cntLeg {
+		t.Fatalf("counters diverged:\nindexed %+v\nlegacy  %+v", cntIdx, cntLeg)
+	}
+	if cntIdx.SlowNoops != 0 {
+		t.Fatalf("SlowNoops=%d, want 0", cntIdx.SlowNoops)
+	}
+	for name, pair := range map[string][2]map[graph.NodeID]float64{
+		"authority": {authIdx, authLeg},
+		"hub":       {hubIdx, hubLeg},
+	} {
+		got, want := pair[0], pair[1]
+		if len(got) != len(want) {
+			t.Fatalf("%s vectors differ in size: %d vs %d", name, len(got), len(want))
+		}
+		for v, x := range want {
+			if got[v] != x {
+				t.Fatalf("%s[%d]=%v indexed, %v legacy", name, v, got[v], x)
+			}
+		}
+	}
+}

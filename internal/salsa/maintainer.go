@@ -46,6 +46,16 @@ type Config struct {
 	// affected segments and flips per-step coins unconditionally. Estimates
 	// are drawn from the same distribution either way.
 	DisableFastPath bool
+	// LegacyScan makes the four repair phases enumerate candidates the
+	// pre-index way: fetch every visitor of the phase's endpoint and walk
+	// each full path, filtering by side and parity. The default consumes the
+	// store's pending-position index — O(hits) per phase instead of
+	// O(visitors × path length), which is the difference between the SALSA
+	// storm and the pagerank storm's throughput. Both paths enumerate the
+	// identical (segment, position) order and consume the RNG identically,
+	// so a fixed-seed serialized run is bitwise the same either way; the
+	// flag exists for benchmarks and the equivalence test.
+	LegacyScan bool
 }
 
 func (c Config) queryWalks() int {
@@ -125,11 +135,40 @@ type updater struct {
 	tail    []graph.NodeID
 	keys    []uint64
 	idx     []int
-	touched map[walkstore.SegmentID]int // id -> first fresh path position
+	hits    []walkstore.PosHit
+	segs    []walkstore.SegmentID
+	paths   [][]graph.NodeID
+	touched touchedSet
 }
 
-func newUpdater(rng *rand.Rand) *updater {
-	return &updater{rng: rng, touched: make(map[walkstore.SegmentID]int)}
+func newUpdater(rng *rand.Rand) *updater { return &updater{rng: rng} }
+
+// touchedSet records the segments whose tail this arrival already
+// regenerated (id -> first fresh path position). A flat pair of parallel
+// slices, not a map: an arrival touches a handful of segments and the map's
+// per-lookup hashing was visible in the storm profile.
+type touchedSet struct {
+	ids   []walkstore.SegmentID
+	keeps []int
+}
+
+func (t *touchedSet) reset() {
+	t.ids = t.ids[:0]
+	t.keeps = t.keeps[:0]
+}
+
+func (t *touchedSet) set(id walkstore.SegmentID, keep int) {
+	t.ids = append(t.ids, id)
+	t.keeps = append(t.keeps, keep)
+}
+
+func (t *touchedSet) get(id walkstore.SegmentID) (int, bool) {
+	for i, x := range t.ids {
+		if x == id {
+			return t.keeps[i], true
+		}
+	}
+	return 0, false
 }
 
 func (w *updater) lockSegments(set *stripes.MutexSet, ids []walkstore.SegmentID) []int {
@@ -312,7 +351,7 @@ func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
 	m.soc.AddEdge(u, v)
 	dout := m.soc.OutDegree(u)
 	din := m.soc.InDegree(v)
-	clear(w.touched)
+	w.touched.reset()
 	// Forward phase: stored forward steps from u now have a d-th choice.
 	if dout == 1 {
 		m.reviveForward(u, v, w)
@@ -332,6 +371,45 @@ func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
 	// edge, so repairing them too would over-weight it.
 	m.ensureNode(u, w)
 	m.ensureNode(v, w)
+}
+
+// freeze prepares one repair phase's candidate enumeration at node n for
+// pending direction dir: it reads the candidate source (the sided
+// pending-position index by default, the full visitor set with LegacyScan),
+// locks the involved segments under the SegmentID stripes, and — on the
+// parallel path — re-reads the index under those locks so every hit position
+// is exact, dropping hits of segments another worker mutated into n after
+// the probe (they are simply not part of this arrival's frozen enumeration,
+// exactly like a segment missing from the pre-index frozen visitor set).
+// Exactly one of ids/hits is non-nil.
+func (m *Maintainer) freeze(n graph.NodeID, dir walkstore.Side, w *updater) (ids []walkstore.SegmentID, hits []walkstore.PosHit, held []int) {
+	if m.cfg.LegacyScan {
+		ids = sortedVisitors(m.walks, n)
+		return ids, nil, w.lockSegments(m.segMu, ids)
+	}
+	w.hits = m.walks.AppendPendingPositions(w.hits[:0], n, dir)
+	w.segs = walkstore.DistinctSegments(w.segs, w.hits)
+	held = w.lockSegments(m.segMu, w.segs)
+	if m.cfg.UpdateWorkers > 1 {
+		// Another worker may have mutated a probed segment between the probe
+		// and the freeze; re-read now that the segments cannot move.
+		w.hits = m.walks.AppendPendingPositions(w.hits[:0], n, dir)
+		w.hits = walkstore.KeepSegments(w.hits, w.segs)
+	}
+	// Bulk-fetch the frozen segments' paths under one segment-lock
+	// acquisition; the scans walk them via a cursor over w.segs.
+	w.paths = m.walks.AppendPaths(w.paths, w.segs)
+	return nil, w.hits, held
+}
+
+// groupPath returns the frozen path of segment id, advancing the scan's
+// cursor over the (sorted) frozen segment set. Hit groups arrive in
+// ascending segment order, so the cursor only ever moves forward.
+func groupPath(w *updater, g *int, id walkstore.SegmentID) []graph.NodeID {
+	for w.segs[*g] != id {
+		*g++
+	}
+	return w.paths[*g]
 }
 
 // rerouteForward repairs stored walks after u's out-degree rose to d >= 2:
@@ -362,11 +440,15 @@ func (m *Maintainer) rerouteForward(u, v graph.NodeID, d int, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	ids := sortedVisitors(m.walks, u)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(u, walkstore.SideForward, w)
 	defer m.segMu.UnlockSet(held)
 	for {
-		rerouted, seen := m.forwardScan(ids, u, v, inv, first, w)
+		var rerouted, seen int64
+		if m.cfg.LegacyScan {
+			rerouted, seen = m.forwardScan(ids, u, v, inv, first, w)
+		} else {
+			rerouted, seen = m.forwardScanIndexed(hits, v, inv, first, w)
+		}
 		switch {
 		case rerouted > 0:
 			m.cnt.slowPaths.Add(1)
@@ -413,7 +495,50 @@ func (m *Maintainer) forwardScan(ids []walkstore.SegmentID, u, v graph.NodeID, i
 			}
 		}
 		m.redirect(id, pos+1, v, walk.Backward, w)
-		w.touched[id] = pos + 1
+		w.touched.set(id, pos+1)
+		rerouted++
+	}
+	return rerouted, idx
+}
+
+// forwardScanIndexed runs the forward-phase coin pass over the frozen
+// forward-pending position hits of u: every non-terminal hit is one stored
+// forward step (the index guarantees node and parity), enumerated in the
+// same (segment, position) order as the legacy full-path scan, so the
+// pre-sampled first-switch index means the same candidate under either scan.
+// A segment's hits after its own reroute this pass are superseded but keep
+// their enumeration slots.
+func (m *Maintainer) forwardScanIndexed(hits []walkstore.PosHit, v graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
+	idx := int64(0)
+	g := 0
+	for i := 0; i < len(hits); {
+		id := hits[i].Seg
+		j := i
+		for j < len(hits) && hits[j].Seg == id {
+			j++
+		}
+		p := groupPath(w, &g, id) // stable: ReplaceTail relocates, never mutates
+		pos := -1
+		for _, h := range hits[i:j] {
+			hp := int(h.Pos)
+			if hp >= len(p)-1 {
+				continue // terminal visit: no stored step to capture
+			}
+			if pos >= 0 {
+				idx++ // superseded by this segment's reroute; slot still counts
+				continue
+			}
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
+				pos = hp
+			}
+			idx++
+		}
+		i = j
+		if pos < 0 {
+			continue
+		}
+		m.redirect(id, pos+1, v, walk.Backward, w)
+		w.touched.set(id, pos+1)
 		rerouted++
 	}
 	return rerouted, idx
@@ -439,11 +564,15 @@ func (m *Maintainer) reviveForward(u, v graph.NodeID, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, 1-eps, t)
 	}
-	ids := sortedVisitors(m.walks, u)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(u, walkstore.SideForward, w)
 	defer m.segMu.UnlockSet(held)
 	for {
-		revived, seen := m.reviveForwardScan(ids, u, v, eps, first, w)
+		var revived, seen int64
+		if m.cfg.LegacyScan {
+			revived, seen = m.reviveForwardScan(ids, u, v, eps, first, w)
+		} else {
+			revived, seen = m.reviveForwardScanIndexed(hits, v, eps, first, w)
+		}
 		switch {
 		case revived > 0:
 			m.cnt.slowPaths.Add(1)
@@ -476,8 +605,36 @@ func (m *Maintainer) reviveForwardScan(ids []walkstore.SegmentID, u, v graph.Nod
 			continue
 		}
 		m.redirect(id, len(p), v, walk.Backward, w)
-		w.touched[id] = len(p)
+		w.touched.set(id, len(p))
 		revived++
+	}
+	return revived, idx
+}
+
+// reviveForwardScanIndexed is reviveForwardScan over frozen forward-pending
+// hits: the revival candidates are exactly the terminal hits (position ==
+// last path index), enumerated in ascending-segment order like the legacy
+// visitor scan.
+func (m *Maintainer) reviveForwardScanIndexed(hits []walkstore.PosHit, v graph.NodeID, eps float64, first int64, w *updater) (revived, seen int64) {
+	idx := int64(0)
+	g := 0
+	for i := 0; i < len(hits); {
+		id := hits[i].Seg
+		j := i
+		for j < len(hits) && hits[j].Seg == id {
+			j++
+		}
+		p := groupPath(w, &g, id)
+		if int(hits[j-1].Pos) == len(p)-1 { // terminal hit: forward-pending end at u
+			cont := stats.FirstSuccessHit(w.rng, first, idx, 1-eps)
+			idx++
+			if cont {
+				m.redirect(id, len(p), v, walk.Backward, w)
+				w.touched.set(id, len(p))
+				revived++
+			}
+		}
+		i = j
 	}
 	return revived, idx
 }
@@ -489,7 +646,8 @@ func (m *Maintainer) reviveForwardScan(ids []walkstore.SegmentID, u, v graph.Nod
 // and are excluded from both the skip-coin exponent and the scan.
 func (m *Maintainer) rerouteBackward(v, u graph.NodeID, d int, w *updater) {
 	k := m.walks.PendingCandidates(v, walkstore.SideBackward)
-	for id, keep := range w.touched {
+	for ti, id := range w.touched.ids {
+		keep := w.touched.keeps[ti]
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		for i := keep; i < len(p)-1; i++ {
@@ -511,11 +669,15 @@ func (m *Maintainer) rerouteBackward(v, u graph.NodeID, d int, w *updater) {
 		}
 		first = stats.TruncatedGeometric(w.rng, inv, k)
 	}
-	ids := sortedVisitors(m.walks, v)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(v, walkstore.SideBackward, w)
 	defer m.segMu.UnlockSet(held)
 	for {
-		rerouted, seen := m.backwardScan(ids, v, u, inv, first, w)
+		var rerouted, seen int64
+		if m.cfg.LegacyScan {
+			rerouted, seen = m.backwardScan(ids, v, u, inv, first, w)
+		} else {
+			rerouted, seen = m.backwardScanIndexed(hits, u, inv, first, w)
+		}
 		switch {
 		case rerouted > 0:
 			m.cnt.slowPaths.Add(1)
@@ -539,7 +701,7 @@ func (m *Maintainer) backwardScan(ids []walkstore.SegmentID, v, u graph.NodeID, 
 		side := m.walks.SideOf(id)
 		p := m.walks.Path(id)
 		end := len(p) - 1 // candidates are non-terminal visits
-		if keep, ok := w.touched[id]; ok && keep < end {
+		if keep, ok := w.touched.get(id); ok && keep < end {
 			end = keep // positions >= keep are fresh
 		}
 		pos := -1
@@ -566,6 +728,49 @@ func (m *Maintainer) backwardScan(ids []walkstore.SegmentID, v, u graph.NodeID, 
 	return rerouted, idx
 }
 
+// backwardScanIndexed runs the backward-phase coin pass over the frozen
+// backward-pending hits of v, excluding terminal hits and — for segments the
+// forward phase just regenerated — hits at or beyond the first fresh
+// position (those steps were sampled on the new graph).
+func (m *Maintainer) backwardScanIndexed(hits []walkstore.PosHit, u graph.NodeID, inv float64, first int64, w *updater) (rerouted, seen int64) {
+	idx := int64(0)
+	g := 0
+	for i := 0; i < len(hits); {
+		id := hits[i].Seg
+		j := i
+		for j < len(hits) && hits[j].Seg == id {
+			j++
+		}
+		p := groupPath(w, &g, id)
+		end := len(p) - 1 // candidates are non-terminal visits
+		if keep, ok := w.touched.get(id); ok && keep < end {
+			end = keep // positions >= keep are fresh
+		}
+		pos := -1
+		for _, h := range hits[i:j] {
+			hp := int(h.Pos)
+			if hp >= end {
+				continue
+			}
+			if pos >= 0 {
+				idx++ // superseded slot
+				continue
+			}
+			if stats.FirstSuccessHit(w.rng, first, idx, inv) {
+				pos = hp
+			}
+			idx++
+		}
+		i = j
+		if pos < 0 {
+			continue
+		}
+		m.redirect(id, pos+1, u, walk.Forward, w)
+		rerouted++
+	}
+	return rerouted, idx
+}
+
 // reviveBackward repairs stored walks after v gained its very first in-edge.
 // A walk pauses before a backward step with no reset coin, so while v had no
 // in-edges every such walk died there deterministically — and now every one
@@ -579,25 +784,45 @@ func (m *Maintainer) reviveBackward(v, u graph.NodeID, w *updater) {
 		m.cnt.emptySkips.Add(1)
 		return
 	}
-	ids := sortedVisitors(m.walks, v)
-	held := w.lockSegments(m.segMu, ids)
+	ids, hits, held := m.freeze(v, walkstore.SideBackward, w)
 	defer m.segMu.UnlockSet(held)
 	revived := int64(0)
-	for _, id := range ids {
-		side := m.walks.SideOf(id)
-		p := m.walks.Path(id)
-		last := len(p) - 1
-		if p[last] != v || side.PendingAt(last) != walkstore.SideBackward {
-			continue
+	if m.cfg.LegacyScan {
+		for _, id := range ids {
+			side := m.walks.SideOf(id)
+			p := m.walks.Path(id)
+			last := len(p) - 1
+			if p[last] != v || side.PendingAt(last) != walkstore.SideBackward {
+				continue
+			}
+			// A tail regenerated this arrival cannot end backward-pending at
+			// v (v already has the new in-edge), so this guard is
+			// unreachable; it keeps the phase safe against double-sampling
+			// regardless.
+			if keep, ok := w.touched.get(id); ok && last >= keep {
+				continue
+			}
+			m.redirect(id, len(p), u, walk.Forward, w)
+			revived++
 		}
-		// A tail regenerated this arrival cannot end backward-pending at v
-		// (v already has the new in-edge), so this guard is unreachable; it
-		// keeps the phase safe against double-sampling regardless.
-		if keep, ok := w.touched[id]; ok && last >= keep {
-			continue
+	} else {
+		g := 0
+		for i := 0; i < len(hits); {
+			id := hits[i].Seg
+			j := i
+			for j < len(hits) && hits[j].Seg == id {
+				j++
+			}
+			p := groupPath(w, &g, id)
+			last := len(p) - 1
+			if int(hits[j-1].Pos) == last { // terminal hit: backward-pending end at v
+				if keep, ok := w.touched.get(id); !ok || last < keep {
+					m.redirect(id, len(p), u, walk.Forward, w)
+					revived++
+				}
+			}
+			i = j
 		}
-		m.redirect(id, len(p), u, walk.Forward, w)
-		revived++
 	}
 	if revived > 0 {
 		m.cnt.slowPaths.Add(1)

@@ -1,12 +1,10 @@
 // Package walkstore implements the paper's "PageRank Store" (Section 2.2):
 // the database of random walk segments kept alongside the social graph, and
-// the counters that make both the incremental update rule and the estimate
-// reads cheap.
+// the counters and indexes that make the incremental update rule, the
+// estimate reads, and the repair scans cheap.
 //
-// For every node the store holds the segments that node owns, and — the key
-// to cheap incremental updates — an inverted visit index mapping each node v
-// to the set of segments that pass through v, plus the counters the paper
-// names explicitly:
+// For every node the store maintains one consolidated state record holding
+// the counters the paper names explicitly:
 //
 //	X_v  — total number of visits to v across all stored segments, the
 //	       numerator of the PageRank estimate  ~pi_v = eps * X_v / (nR)
@@ -15,13 +13,27 @@
 //	       is X_v / TotalVisits (same shape, correct scale);
 //	W(v) — number of distinct stored segments visiting v, used by the
 //	       "call the PageRank Store with probability 1-(1-1/d)^W" fast path
-//	       of the paper's Section 2.2 cost analysis.
+//	       of the paper's Section 2.2 cost analysis;
 //	T(v) — number of stored segments whose path *ends* at v (Terminals).
 //	       Candidates(v) = X_v - T(v) counts the outgoing steps stored
 //	       segments take from v, which is the exact exponent for the skip
 //	       coin: an arriving edge (v, w) needs no rerouting with probability
 //	       (1-1/d)^Candidates(v), so the incremental maintainer can skip the
 //	       whole arrival on one counter read without fetching any path.
+//
+// Pending-position index. The counters say how many stored steps an arrival
+// perturbs; the pending-position index says exactly which ones. Per (node,
+// pending step direction) — plus one bucket for unsided segments — the
+// store keeps the sorted (SegmentID, position) pairs of its stored visits
+// (AppendPendingPositions), so a repair phase enumerates its candidates in
+// O(hits) instead of walking every visitor's full path, in exactly the
+// candidate order the pre-index scans used (ascending segment, then
+// position — the order first-switch indices are drawn over). The buckets
+// hold one entry per visit and double as the inverted visitor index
+// (Visitors and W derive from them). Ordinary nodes keep a bucket as a
+// pointer-free sorted slice of packed seg<<32|pos words; past hubThreshold
+// entries it upgrades to a per-segment position map. See
+// docs/DESIGN.md#7-the-pending-position-index for the full argument.
 //
 // Sided segments. SALSA (Sections 2.3 and 5) stores alternating walks; a
 // segment can be tagged with the direction of its first step (AddSided).
@@ -30,30 +42,43 @@
 // terminal, and total counters: PendingVisits(v, Backward) is exactly the
 // authority-side visit count of v, PendingCandidates the sided skip-coin
 // exponent, PendingTerminals the revival candidates — the sided analogues
-// of X_v, Candidates, and T(v).
+// of X_v, Candidates, and T(v) — with the sided index buckets enumerating
+// each.
 //
 // Storage layout. Segment paths live in one grow-only arena ([]graph.NodeID)
 // addressed by (offset, length); mutation never writes inside the occupied
 // prefix of the arena, so a path slice handed out by Path stays valid and
 // immutable for the life of the store even across ReplaceTail (which writes
 // the revised path at the arena tail and repoints the segment) — see
-// docs/DESIGN.md#2-the-arena--copy-on-truncate-invariant. The visitor index
-// keeps, per node, a small sorted (segment, multiplicity) slice and upgrades
-// to a map only for high-degree hubs.
+// docs/DESIGN.md#2-the-arena--copy-on-truncate-invariant. Per-node state is
+// addressed by dense slots (stripe = id&63, slot = id>>6, with a sparse-map
+// fallback for IDs outside the dense range), so the hot counter touches are
+// slice indexes, not hash lookups.
 //
-// Concurrency. All per-node state — counters, visitor sets, owner lists,
-// sided tables — is sharded into hash-addressed lock stripes, so everything
-// one node's skip coin reads is consistent under a single stripe lock while
-// unrelated nodes mutate in parallel; the arena and segment table sit under
-// a separate segment lock, global totals are atomic mirrors, and each
-// stripe keeps its own share of every total, which Validate cross-checks
-// against both the atomics and a recount from the stored paths. Reads are
-// freely concurrent; mutations of distinct segments are concurrent-safe,
-// mutations of the same segment must be serialized by the caller (the
-// engine and both maintainers hold SegmentID stripe locks for exactly
-// this). Epoch counts completed mutations — the version stamp the
-// read-mostly query path brackets itself with. The full lock order and the
-// snapshot-semantics argument live in docs/DESIGN.md#6-concurrency-model.
+// Concurrency. All per-node state is sharded into numStripes lock stripes
+// selected by the node ID's low bits, so everything one node's skip coin
+// reads is consistent under a single stripe lock while unrelated nodes
+// mutate in parallel; the arena and segment table sit under a separate
+// segment lock, and each stripe keeps its own share of every total, which
+// Validate cross-checks against the atomic global mirrors and a recount
+// from the stored paths. Batch adds (AddBatch) and tail mutations
+// (ReplaceTail/Remove) group their per-node updates by stripe, paying one
+// lock acquisition per touched stripe and one atomic-total update per
+// mutation. Reads are freely concurrent; mutations of distinct segments are
+// concurrent-safe, mutations of the same segment must be serialized by the
+// caller (the engine and both maintainers hold SegmentID stripe locks for
+// exactly this). Epoch counts completed mutations — the version stamp the
+// read-mostly query path brackets itself with.
+//
+// Validate requires a quiescent store and enforces that itself: it takes
+// the segment lock plus every counter stripe and then checks the in-flight
+// mutation count, failing with a wrapped ErrConcurrentMutation (test with
+// errors.Is) when it caught a mutation between its arena phase and its
+// counter updates — the one state a lock-holding validator cannot
+// distinguish from corruption. Callers that cannot guarantee quiescence can
+// additionally bracket the call with Epoch() reads. The full lock order and
+// the snapshot-semantics argument live in
+// docs/DESIGN.md#6-concurrency-model.
 //
 // The store is deliberately agnostic about what a segment means: it stores
 // node paths. The PageRank maintainer stores reset walks; the SALSA

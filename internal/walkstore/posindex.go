@@ -1,0 +1,269 @@
+package walkstore
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+
+	"fastppr/internal/graph"
+)
+
+// PosHit is one pending-position index entry: a stored segment and the path
+// position at which it visits the indexed node. For a sided segment the entry
+// lives in the bucket of the visit's pending step direction; unsided segments
+// keep all their visit positions in one bucket. Hits sort by (Seg, Pos) —
+// ascending segment ID, then ascending position — which is exactly the
+// canonical candidate-enumeration order the maintainers' repair scans draw
+// truncated-geometric first-switch indices over.
+type PosHit struct {
+	Seg SegmentID
+	Pos int32
+}
+
+func comparePosHit(a, b PosHit) int {
+	if c := cmp.Compare(a.Seg, b.Seg); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Pos, b.Pos)
+}
+
+// pendingBuckets is the number of per-node position-index buckets: one per
+// sided pending direction (indexed by Side) plus one for unsided segments.
+const (
+	unsidedBucket  = 2
+	pendingBuckets = 3
+)
+
+// pendingBucket maps a visit's (segment side, path position) to its index
+// bucket: the pending step direction for sided segments (side XOR position
+// parity), the dedicated unsided bucket otherwise.
+func pendingBucket(side Side, pos int) int {
+	if side < 0 {
+		return unsidedBucket
+	}
+	return int(side.PendingAt(pos))
+}
+
+// bucketOf maps the direction argument of the index read API to a bucket:
+// SideForward/SideBackward address the sided pending-direction buckets,
+// Unsided the unsided visit-position bucket.
+func bucketOf(dir Side) int {
+	if dir == Unsided {
+		return unsidedBucket
+	}
+	mustDir(dir)
+	return int(dir)
+}
+
+// packEntry encodes one index entry as seg<<32 | pos. Numeric order of the
+// packed word is exactly (seg, pos) lexicographic order, so the list
+// representation sorts, searches, and moves single machine words. Segment
+// IDs are dense from 0 and positions are bounded by path length, so both
+// comfortably fit 32 bits; the guard documents the limit rather than
+// silently corrupting past it.
+func packEntry(seg SegmentID, pos int32) uint64 {
+	if uint64(seg) >= 1<<32 {
+		panic(fmt.Sprintf("walkstore: segment %d overflows the packed position index", seg))
+	}
+	return uint64(seg)<<32 | uint64(uint32(pos))
+}
+
+func unpackEntry(e uint64) PosHit {
+	return PosHit{Seg: SegmentID(e >> 32), Pos: int32(uint32(e))}
+}
+
+// posIndex is the pending-position set of one (node, bucket): the exact
+// (segment, position) pairs where a stored visit to the node is pending a
+// step in the bucket's direction. Ordinary nodes keep a sorted slice of
+// packed seg<<32|pos words — pointer-free (the GC never scans it),
+// append-dominated (fresh segments carry the largest IDs), one short
+// memmove on a mid-list insert — and upgrade to a per-segment map once the
+// entry count crosses hubThreshold, where the memmove would be tens of
+// kilobytes per update. Exactly one representation is active at a time;
+// there is no downgrade. The zero value is an empty index.
+type posIndex struct {
+	list []uint64              // packed entries, sorted; active while m == nil
+	m    map[SegmentID][]int32 // hub mode: per-segment sorted position lists
+	n    int                   // total entries across either representation
+}
+
+func (px *posIndex) add(seg SegmentID, pos int32) {
+	px.n++
+	if px.m != nil {
+		ps := px.m[seg]
+		// Fast path: a fresh segment's visits arrive in ascending position
+		// order, so per-segment lists grow at the end.
+		if len(ps) == 0 || ps[len(ps)-1] < pos {
+			px.m[seg] = append(ps, pos)
+			return
+		}
+		i, found := slices.BinarySearch(ps, pos)
+		if found {
+			panic(fmt.Sprintf("walkstore: duplicate pending position (%d,%d)", seg, pos))
+		}
+		px.m[seg] = slices.Insert(ps, i, pos)
+		return
+	}
+	e := packEntry(seg, pos)
+	// Fast path: fresh segments carry the largest ID yet, so bulk loads and
+	// reroute tails append at the end of the sorted list.
+	if n := len(px.list); n == 0 || px.list[n-1] < e {
+		px.list = append(px.list, e)
+	} else {
+		i, found := slices.BinarySearch(px.list, e)
+		if found {
+			panic(fmt.Sprintf("walkstore: duplicate pending position (%d,%d)", seg, pos))
+		}
+		px.list = slices.Insert(px.list, i, e)
+	}
+	if len(px.list) > hubThreshold {
+		px.m = make(map[SegmentID][]int32, 2*len(px.list))
+		for _, e := range px.list {
+			h := unpackEntry(e)
+			px.m[h.Seg] = append(px.m[h.Seg], h.Pos)
+		}
+		px.list = nil
+	}
+}
+
+// remove drops one entry.
+func (px *posIndex) remove(seg SegmentID, pos int32) {
+	if px.m != nil {
+		ps := px.m[seg]
+		if len(ps) == 1 && ps[0] == pos {
+			delete(px.m, seg)
+			px.n--
+			return
+		}
+		// Fast path: ReplaceTail unwinds a tail from its end, so the removed
+		// position is usually the segment's largest.
+		if n := len(ps); n > 0 && ps[n-1] == pos {
+			px.m[seg] = ps[:n-1]
+			px.n--
+			return
+		}
+		i, found := slices.BinarySearch(ps, pos)
+		if !found {
+			panic(fmt.Sprintf("walkstore: removing absent pending position (%d,%d)", seg, pos))
+		}
+		// len(ps) >= 2 here: a single-entry list was fully handled above.
+		px.m[seg] = slices.Delete(ps, i, i+1)
+		px.n--
+		return
+	}
+	e := packEntry(seg, pos)
+	// Fast path: ReplaceTail unwinds a tail from its end, so the removed
+	// entry is often the list's last.
+	if n := len(px.list); n > 0 && px.list[n-1] == e {
+		px.list = px.list[:n-1]
+		px.n--
+		return
+	}
+	i, found := slices.BinarySearch(px.list, e)
+	if !found {
+		panic(fmt.Sprintf("walkstore: removing absent pending position (%d,%d)", seg, pos))
+	}
+	px.list = slices.Delete(px.list, i, i+1)
+	px.n--
+}
+
+// appendTo appends every entry to dst in (seg, pos) order. The slice
+// representation is already sorted; the map representation sorts its
+// segment keys (cheap integer sort over distinct segments) and emits each
+// segment's already-sorted position list.
+func (px *posIndex) appendTo(dst []PosHit) []PosHit {
+	if px.m == nil {
+		for _, e := range px.list {
+			dst = append(dst, unpackEntry(e))
+		}
+		return dst
+	}
+	segs := make([]SegmentID, 0, len(px.m))
+	for seg := range px.m {
+		segs = append(segs, seg)
+	}
+	slices.Sort(segs)
+	for _, seg := range segs {
+		for _, p := range px.m[seg] {
+			dst = append(dst, PosHit{Seg: seg, Pos: p})
+		}
+	}
+	return dst
+}
+
+// appendSegs appends the bucket's distinct segment IDs to dst, unordered
+// (ascending in slice mode, map order in hub mode). Callers sort and
+// deduplicate across buckets.
+func (px *posIndex) appendSegs(dst []SegmentID) []SegmentID {
+	if px.m != nil {
+		for seg := range px.m {
+			dst = append(dst, seg)
+		}
+		return dst
+	}
+	for _, e := range px.list {
+		if seg := SegmentID(e >> 32); len(dst) == 0 || dst[len(dst)-1] != seg {
+			dst = append(dst, seg)
+		}
+	}
+	return dst
+}
+
+// AppendPendingPositions appends the pending-position entries of (v, dir) to
+// dst (reset first) and returns it sorted by (segment, position). For
+// dir == SideForward or SideBackward the entries are exactly the stored
+// sided visits to v whose pending step has direction dir, terminal visits
+// included — so non-terminal entries count PendingCandidates(v, dir) and the
+// entry at a segment's last position is a PendingTerminals(v, dir) member.
+// For dir == Unsided they are every visit position of unsided segments at v
+// (the PageRank repair enumeration). The copy is taken under v's counter
+// stripe lock. See docs/DESIGN.md#7-the-pending-position-index for how the
+// maintainers freeze and consume this enumeration.
+func (s *Store) AppendPendingPositions(dst []PosHit, v graph.NodeID, dir Side) []PosHit {
+	b := bucketOf(dir)
+	dst = dst[:0]
+	st := s.stripe(v)
+	st.mu.RLock()
+	if ns := st.node(v); ns != nil {
+		dst = ns.pending[b].appendTo(dst)
+	}
+	st.mu.RUnlock()
+	return dst
+}
+
+// PendingPositions is AppendPendingPositions into a fresh slice.
+func (s *Store) PendingPositions(v graph.NodeID, dir Side) []PosHit {
+	return s.AppendPendingPositions(nil, v, dir)
+}
+
+// DistinctSegments appends the distinct segment IDs of hits — which must be
+// sorted by (seg, pos), as AppendPendingPositions returns them — to dst
+// (reset first), ascending. This is the segment set a repair phase freezes
+// under its SegmentID stripe locks before consuming the hits.
+func DistinctSegments(dst []SegmentID, hits []PosHit) []SegmentID {
+	dst = dst[:0]
+	for _, h := range hits {
+		if len(dst) == 0 || dst[len(dst)-1] != h.Seg {
+			dst = append(dst, h.Seg)
+		}
+	}
+	return dst
+}
+
+// KeepSegments filters hits (sorted by segment) in place to the entries
+// whose segment appears in segs (sorted ascending), returning the shortened
+// slice. A repair phase applies it to the re-read index snapshot so the
+// frozen enumeration never includes a segment it did not lock.
+func KeepSegments(hits []PosHit, segs []SegmentID) []PosHit {
+	out := hits[:0]
+	j := 0
+	for _, h := range hits {
+		for j < len(segs) && segs[j] < h.Seg {
+			j++
+		}
+		if j < len(segs) && segs[j] == h.Seg {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package walkstore
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// brutePending recomputes one (node, dir) pending-position bucket from the
+// stored paths: the full-path enumeration the index replaces.
+func brutePending(s *Store, live []SegmentID, v graph.NodeID, dir Side) []PosHit {
+	var want []PosHit
+	ids := append([]SegmentID(nil), live...)
+	slices.Sort(ids)
+	for _, id := range ids {
+		side := s.SideOf(id)
+		for pos, x := range s.Path(id) {
+			if x != v {
+				continue
+			}
+			if pendingBucket(side, pos) == bucketOf(dir) {
+				want = append(want, PosHit{Seg: id, Pos: int32(pos)})
+			}
+		}
+	}
+	return want
+}
+
+// TestPendingPositionsBruteForce drives randomized Add/AddSided/AddBatch/
+// ReplaceTail/Remove churn over a small node space (so buckets cross the
+// hub-upgrade boundary at hubThreshold entries and shrink back) and
+// cross-checks every bucket of every touched node against the full-path
+// enumeration after each mutation, with periodic full Validates.
+func TestPendingPositionsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 0))
+	s := New()
+	var live []SegmentID
+	const nodeSpace = 12 // tiny, so single nodes accumulate > hubThreshold entries
+	randPath := func() []graph.NodeID {
+		p := make([]graph.NodeID, 1+rng.IntN(6))
+		for i := range p {
+			p[i] = graph.NodeID(rng.IntN(nodeSpace))
+		}
+		return p
+	}
+	sides := []Side{Unsided, SideForward, SideBackward}
+	ops := 1500
+	if testing.Short() {
+		ops = 400
+	}
+	for op := 0; op < ops; op++ {
+		switch k := rng.IntN(10); {
+		case k < 3 || len(live) == 0:
+			live = append(live, s.AddSided(randPath(), sides[rng.IntN(3)]))
+		case k < 4:
+			batch := make([][]graph.NodeID, 1+rng.IntN(4))
+			for i := range batch {
+				batch[i] = randPath()
+			}
+			live = append(live, s.AddBatchSided(batch, sides[rng.IntN(3)])...)
+		case k < 8:
+			id := live[rng.IntN(len(live))]
+			n := len(s.Path(id))
+			var tail []graph.NodeID
+			if rng.IntN(4) > 0 {
+				tail = randPath()
+			}
+			s.ReplaceTail(id, 1+rng.IntN(n), tail)
+		default:
+			i := rng.IntN(len(live))
+			s.Remove(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for v := 0; v < nodeSpace; v++ {
+			for _, dir := range sides {
+				got := s.PendingPositions(graph.NodeID(v), dir)
+				want := brutePending(s, live, graph.NodeID(v), dir)
+				if !slices.Equal(got, want) {
+					t.Fatalf("op %d node %d dir %d:\ngot  %v\nwant %v", op, v, dir, got, want)
+				}
+			}
+		}
+		if op%100 == 0 {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPosIndexHubBoundary pins the representation upgrade: pushing one
+// (node, dir) bucket past hubThreshold entries must flip it to the map
+// representation with identical contents, and removals below the boundary
+// must keep it exact (no downgrade, like the visitor index).
+func TestPosIndexHubBoundary(t *testing.T) {
+	s := New()
+	const hub = graph.NodeID(5)
+	var ids []SegmentID
+	// Each forward-sided path [hub, i] contributes one forward-pending entry
+	// (position 0) at hub.
+	for i := 0; i < 2*hubThreshold; i++ {
+		ids = append(ids, s.AddSided([]graph.NodeID{hub, graph.NodeID(100 + i)}, SideForward))
+		hits := s.PendingPositions(hub, SideForward)
+		if len(hits) != i+1 {
+			t.Fatalf("after %d adds: %d hits", i+1, len(hits))
+		}
+		if !slices.IsSortedFunc(hits, comparePosHit) {
+			t.Fatalf("hits unsorted after %d adds", i+1)
+		}
+	}
+	px := &s.stripe(hub).node(hub).pending[int(SideForward)]
+	if px.m == nil {
+		t.Fatalf("bucket did not upgrade to map past %d entries", hubThreshold)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[:2*hubThreshold-1] {
+		s.Remove(id)
+	}
+	hits := s.PendingPositions(hub, SideForward)
+	if len(hits) != 1 || hits[0].Seg != ids[2*hubThreshold-1] {
+		t.Fatalf("after removals: %v", hits)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistinctSegmentsAndKeepSegments pins the two hit-list helpers the
+// repair phases' freeze protocol is built on.
+func TestDistinctSegmentsAndKeepSegments(t *testing.T) {
+	hits := []PosHit{{2, 0}, {2, 3}, {5, 1}, {9, 0}, {9, 2}, {9, 4}}
+	segs := DistinctSegments(nil, hits)
+	if !slices.Equal(segs, []SegmentID{2, 5, 9}) {
+		t.Fatalf("DistinctSegments=%v", segs)
+	}
+	kept := KeepSegments(slices.Clone(hits), []SegmentID{2, 9})
+	want := []PosHit{{2, 0}, {2, 3}, {9, 0}, {9, 2}, {9, 4}}
+	if !slices.Equal(kept, want) {
+		t.Fatalf("KeepSegments=%v want %v", kept, want)
+	}
+	if got := KeepSegments(slices.Clone(hits), nil); len(got) != 0 {
+		t.Fatalf("KeepSegments with no segs=%v", got)
+	}
+}
+
+// TestMutationInFlightCounter pins the mechanism behind Validate's
+// ErrConcurrentMutation guard: the observer fires strictly inside a
+// mutation's counter phase, so it must always see the in-flight count
+// non-zero, and the count must drain back to zero (Validate clean) once the
+// mutation returns.
+func TestMutationInFlightCounter(t *testing.T) {
+	s := New()
+	minSeen := int64(99)
+	s.SetObserver(func(SegmentID, graph.NodeID, int, int) {
+		if n := s.mutators.Load(); n < minSeen {
+			minSeen = n
+		}
+	})
+	id := s.Add(path(1, 2, 3))
+	s.ReplaceTail(id, 1, path(4))
+	s.Remove(id)
+	if minSeen < 1 {
+		t.Fatalf("observer saw in-flight count %d mid-mutation, want >= 1", minSeen)
+	}
+	if got := s.mutators.Load(); got != 0 {
+		t.Fatalf("in-flight count %d after mutations returned", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentIndexReadersAndMutators is the -race stress for the
+// pending-position index: writers churn disjoint sided segment sets (the
+// external per-segment serialization contract) while readers snapshot index
+// buckets and chase the returned hits into Path reads, mimicking the
+// maintainers' probe step racing a parallel storm. Ends in a full Validate
+// (including the index cross-check).
+func TestConcurrentIndexReadersAndMutators(t *testing.T) {
+	const (
+		writers   = 4
+		nodeSpace = 64
+	)
+	iters := 400
+	if testing.Short() {
+		iters = 150
+	}
+	s := New()
+	owned := make([][]SegmentID, writers)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < 30; i++ {
+			side := Side(i % 2)
+			owned[w] = append(owned[w], s.AddSided(
+				[]graph.NodeID{graph.NodeID(w*16 + i%16), graph.NodeID(i % nodeSpace), graph.NodeID(w)}, side))
+		}
+	}
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 5))
+			for it := 0; it < iters; it++ {
+				id := owned[w][rng.IntN(len(owned[w]))]
+				n := len(s.Path(id))
+				tail := make([]graph.NodeID, rng.IntN(4))
+				for j := range tail {
+					tail[j] = graph.NodeID(rng.IntN(nodeSpace))
+				}
+				s.ReplaceTail(id, 1+rng.IntN(n), tail)
+			}
+		}(w)
+	}
+	for r := 0; r < 3; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			rng := rand.New(rand.NewPCG(uint64(r), 6))
+			var hits []PosHit
+			var segs []SegmentID
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := graph.NodeID(rng.IntN(nodeSpace))
+				dir := Side(rng.IntN(2))
+				hits = s.AppendPendingPositions(hits[:0], v, dir)
+				segs = DistinctSegments(segs, hits)
+				for _, id := range segs {
+					if len(s.Path(id)) == 0 {
+						t.Error("empty path observed")
+						return
+					}
+				}
+				_ = s.PendingVisits(v, dir)
+			}
+		}(r)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

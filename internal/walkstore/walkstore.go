@@ -1,13 +1,13 @@
 package walkstore
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"fastppr/internal/graph"
-	"fastppr/internal/stripes"
 )
 
 // SegmentID identifies a stored segment. IDs are assigned densely from 0 and
@@ -62,132 +62,162 @@ type segRef struct {
 	live bool
 }
 
-// hubThreshold is the visitor-set size at which the sorted-slice
-// representation upgrades to a map. Sorted slices win below it (no per-node
-// map allocation, cache-friendly binary search); hubs visited by thousands
-// of segments need O(1) updates.
-const hubThreshold = 64
+// hubThreshold is the entry count at which a pending-position bucket's
+// sorted slice upgrades to a map. The slice is a pointer-free value array —
+// the GC never scans it, appends dominate (fresh segments carry the largest
+// IDs), and a mid-list insert is one short memmove — so it stays ahead of a
+// map well past the typical node's ~2·R·L/2 entries; only genuine hubs with
+// thousands of pending visits need the map's O(1) updates, paying its
+// pointer-ful buckets and write barriers where the memmove would be tens of
+// kilobytes.
+const hubThreshold = 1024
 
-// visitorSet tracks the multiset of segments visiting one node: a sorted
-// (ids, counts) pair for ordinary nodes, a map for hubs. Exactly one
-// representation is active at a time.
-type visitorSet struct {
-	ids    []SegmentID
-	counts []int32
-	m      map[SegmentID]int32
-}
+const (
+	// stripeBits selects the counter stripe from a node ID's low bits;
+	// numStripes is the stripe count. Low-bit striping (rather than a hash)
+	// is what makes the dense slot addressing below exact: node v lives in
+	// stripe v&63 at slot v>>6, so dense ID spaces — every generator and the
+	// production workload assign 0..n-1 — hit a plain slice index instead of
+	// a hash map on every counter touch.
+	stripeBits = 6
+	numStripes = 1 << stripeBits
+	// denseLimit bounds the IDs served from dense slots; rarer IDs at or
+	// above it (or negative) fall back to the per-stripe sparse map, so a
+	// wild ID costs a map hit instead of gigabytes of slots.
+	denseLimit = 1 << 26
+)
 
-func (vs *visitorSet) distinct() int {
-	if vs.m != nil {
-		return len(vs.m)
-	}
-	return len(vs.ids)
-}
-
-func (vs *visitorSet) count(id SegmentID) int32 {
-	if vs.m != nil {
-		return vs.m[id]
-	}
-	i, found := slices.BinarySearch(vs.ids, id)
-	if !found {
-		return 0
-	}
-	return vs.counts[i]
-}
-
-func (vs *visitorSet) add(id SegmentID) {
-	if vs.m != nil {
-		vs.m[id]++
-		return
-	}
-	i, found := slices.BinarySearch(vs.ids, id)
-	if found {
-		vs.counts[i]++
-		return
-	}
-	vs.ids = slices.Insert(vs.ids, i, id)
-	vs.counts = slices.Insert(vs.counts, i, 1)
-	if len(vs.ids) > hubThreshold {
-		vs.m = make(map[SegmentID]int32, 2*len(vs.ids))
-		for j, x := range vs.ids {
-			vs.m[x] = vs.counts[j]
-		}
-		vs.ids, vs.counts = nil, nil
-	}
-}
-
-// remove drops one multiplicity of id and reports whether the set is empty.
-func (vs *visitorSet) remove(id SegmentID) (empty bool) {
-	if vs.m != nil {
-		c := vs.m[id]
-		if c == 0 {
-			panic(fmt.Sprintf("walkstore: removing absent visitor %d", id))
-		}
-		if c == 1 {
-			delete(vs.m, id)
-		} else {
-			vs.m[id] = c - 1
-		}
-		return len(vs.m) == 0
-	}
-	i, found := slices.BinarySearch(vs.ids, id)
-	if !found {
-		panic(fmt.Sprintf("walkstore: removing absent visitor %d", id))
-	}
-	vs.counts[i]--
-	if vs.counts[i] == 0 {
-		vs.ids = slices.Delete(vs.ids, i, i+1)
-		vs.counts = slices.Delete(vs.counts, i, i+1)
-	}
-	return len(vs.ids) == 0
-}
-
-// each calls f for every (segment, multiplicity) pair. Order is ascending by
-// ID in slice mode, unspecified in map mode.
-func (vs *visitorSet) each(f func(SegmentID, int32)) {
-	if vs.m != nil {
-		for id, c := range vs.m {
-			f(id, c)
-		}
-		return
-	}
-	for i, id := range vs.ids {
-		f(id, vs.counts[i])
-	}
-}
-
-// numStripes is the number of counter stripes the per-node tables are
-// sharded into. Power of two so stripe selection is a mask.
-const numStripes = 64
-
-// counterStripe owns the per-node index and counters for the nodes hashing
-// to it, plus this stripe's share of the global visit totals. Everything a
-// single node's skip coin needs — visits, terminals, candidates, visitor
-// set, sided variants — lives under one stripe lock, so a maintainer reads a
-// consistent per-node view with one acquisition while unrelated nodes
-// proceed in parallel.
-type counterStripe struct {
-	mu        sync.RWMutex
-	visitors  map[graph.NodeID]*visitorSet
-	visits    map[graph.NodeID]int64 // X_v
-	terminals map[graph.NodeID]int64 // T(v): live segments ending at v
-	owned     map[graph.NodeID][]SegmentID
+// nodeState bundles every per-node structure the store maintains — visit and
+// terminal counters, owner lists, the sided pending-direction counters, and
+// the pending-position index buckets — so one node-state lookup per mutation
+// or read serves all of them. Before this consolidation every visit update
+// hashed the same node key into half a dozen parallel maps; now it is one
+// slot read plus field arithmetic, which is what keeps the index maintenance
+// cheaper than the scans it replaced.
+type nodeState struct {
+	visits    int64 // X_v
+	terminals int64 // T(v): live segments ending here
+	owned     []SegmentID
 
 	// Per-side counters over sided (alternating) segments, indexed by the
 	// pending step direction of a visit: a visit at position pos of a segment
 	// with first direction f has pending direction f XOR (pos&1). Visits
 	// pending a Backward step are authority-side, visits pending a Forward
-	// step are hub-side, so these tables are exactly the SALSA maintainer's
+	// step are hub-side, so these fields are exactly the SALSA maintainer's
 	// score numerators and skip-coin exponents.
-	sidedVisits    [2]map[graph.NodeID]int64
-	sidedTerminals [2]map[graph.NodeID]int64
-	ownedSided     [2]map[graph.NodeID][]SegmentID
+	sidedVisits    [2]int64
+	sidedTerminals [2]int64
+	ownedSided     [2][]SegmentID
+
+	// Pending-position index: the exact (segment, position) pairs of stored
+	// visits to this node, bucketed by pending step direction (sided) or
+	// into the unsided bucket. It is the counters above made enumerable —
+	// the repair scans read their candidate lists from here instead of
+	// walking every visitor's full path. The buckets hold exactly one entry
+	// per visit, so they double as the inverted visitor index: Visitors and
+	// W derive from them instead of a separately maintained multiset.
+	pending [pendingBuckets]posIndex
+}
+
+// empty reports whether the node no longer holds any stored state. The
+// pending buckets hold exactly one entry per visit, so visits == 0 implies
+// they are empty; the other fields are checked explicitly because terminals
+// and owner lists move under their own lock acquisitions during a multi-step
+// mutation.
+func (ns *nodeState) empty() bool {
+	return ns.visits == 0 && ns.terminals == 0 && len(ns.owned) == 0 &&
+		ns.sidedTerminals == [2]int64{} &&
+		len(ns.ownedSided[0]) == 0 && len(ns.ownedSided[1]) == 0
+}
+
+// counterStripe owns the node states of the nodes whose IDs select it, plus
+// this stripe's share of the global visit totals. Everything a single node's
+// skip coin needs — visits, terminals, candidates, sided variants, pending
+// positions — lives under one stripe lock, so a maintainer reads a
+// consistent per-node view with one acquisition while unrelated nodes
+// proceed in parallel.
+type counterStripe struct {
+	mu sync.RWMutex
+	// dense holds node states at slot v>>stripeBits for IDs below
+	// denseLimit; sparse catches everything else. numNodes counts live
+	// states across both.
+	dense    []*nodeState
+	sparse   map[graph.NodeID]*nodeState
+	numNodes int
 
 	// Stripe shares of the global totals; Validate cross-checks that they
 	// sum to the atomic globals and to a recount from the stored paths.
 	totalVisits int64
 	sidedTotals [2]int64
 }
+
+// node returns the node's state, or nil.
+func (st *counterStripe) node(v graph.NodeID) *nodeState {
+	if u := uint64(v); u < denseLimit {
+		if slot := u >> stripeBits; slot < uint64(len(st.dense)) {
+			return st.dense[slot]
+		}
+		return nil
+	}
+	return st.sparse[v]
+}
+
+// nodeCreate returns the node's state, allocating it on first touch.
+func (st *counterStripe) nodeCreate(v graph.NodeID) *nodeState {
+	if u := uint64(v); u < denseLimit {
+		slot := u >> stripeBits
+		if slot >= uint64(len(st.dense)) {
+			grown := make([]*nodeState, max(int(slot)+1, 2*len(st.dense)))
+			copy(grown, st.dense)
+			st.dense = grown
+		}
+		ns := st.dense[slot]
+		if ns == nil {
+			ns = &nodeState{}
+			st.dense[slot] = ns
+			st.numNodes++
+		}
+		return ns
+	}
+	ns := st.sparse[v]
+	if ns == nil {
+		ns = &nodeState{}
+		st.sparse[v] = ns
+		st.numNodes++
+	}
+	return ns
+}
+
+// maybeDelete drops a node whose state has fully drained.
+func (st *counterStripe) maybeDelete(v graph.NodeID, ns *nodeState) {
+	if !ns.empty() {
+		return
+	}
+	if u := uint64(v); u < denseLimit {
+		st.dense[u>>stripeBits] = nil
+	} else {
+		delete(st.sparse, v)
+	}
+	st.numNodes--
+}
+
+// each calls f for every live node state in the stripe. i is the stripe's
+// index, needed to reconstruct dense IDs (v = slot<<stripeBits | i).
+func (st *counterStripe) each(i int, f func(v graph.NodeID, ns *nodeState)) {
+	for slot, ns := range st.dense {
+		if ns != nil {
+			f(graph.NodeID(uint64(slot)<<stripeBits|uint64(i)), ns)
+		}
+	}
+	for v, ns := range st.sparse {
+		f(v, ns)
+	}
+}
+
+// ErrConcurrentMutation is returned (wrapped) by Validate when it catches a
+// segment mutation in flight: the store is not corrupt, the caller raced the
+// mutators. Re-run Validate at a quiescent point.
+var ErrConcurrentMutation = errors.New("walkstore: concurrent mutation during Validate")
 
 // Store holds walk segments with an inverted visit index. Reads are safe for
 // arbitrary concurrent use. Mutations of *different* segments are safe
@@ -204,9 +234,10 @@ type Store struct {
 	liveNodes int64 // arena slots referenced by live segments
 	observer  Observer
 
-	// Global counter mirrors, updated inside the stripe-locked sections.
-	// Individually exact at any instant; the pair (per-node count, global
-	// total) is only mutually consistent at quiescent points — see
+	// Global counter mirrors, updated once per completed mutation (the
+	// per-stripe shares stay lock-exact). Individually exact at quiescent
+	// points; under concurrent mutation a reader pairing a stripe count with
+	// an atomic total sees skew bounded by the mutations in flight — see
 	// docs/DESIGN.md#6-concurrency-model for the snapshot semantics.
 	totalVisits atomic.Int64
 	sidedTotals [2]atomic.Int64
@@ -216,6 +247,14 @@ type Store struct {
 	// much — the store moved underneath it.
 	epoch atomic.Int64
 
+	// mutators counts segment mutations in flight, from inside the segMu
+	// critical section of their arena phase until their last counter update
+	// has landed. Validate holds segMu plus every counter stripe, so a
+	// non-zero read there means a mutation is caught between phases — the one
+	// state a lock-holding validator cannot distinguish from corruption — and
+	// Validate fails with ErrConcurrentMutation instead of a bogus report.
+	mutators atomic.Int64
+
 	stripes [numStripes]counterStripe
 }
 
@@ -223,23 +262,14 @@ type Store struct {
 func New() *Store {
 	s := &Store{}
 	for i := range s.stripes {
-		st := &s.stripes[i]
-		st.visitors = make(map[graph.NodeID]*visitorSet)
-		st.visits = make(map[graph.NodeID]int64)
-		st.terminals = make(map[graph.NodeID]int64)
-		st.owned = make(map[graph.NodeID][]SegmentID)
-		for d := 0; d < 2; d++ {
-			st.sidedVisits[d] = make(map[graph.NodeID]int64)
-			st.sidedTerminals[d] = make(map[graph.NodeID]int64)
-			st.ownedSided[d] = make(map[graph.NodeID][]SegmentID)
-		}
+		s.stripes[i].sparse = make(map[graph.NodeID]*nodeState)
 	}
 	return s
 }
 
 // stripeIndex returns the counter stripe index of node v.
 func stripeIndex(v graph.NodeID) int {
-	return int((stripes.Hash(uint64(v)) >> 32) & (numStripes - 1))
+	return int(uint64(v) & (numStripes - 1))
 }
 
 // stripe returns the counter stripe owning node v.
@@ -279,16 +309,7 @@ func (s *Store) Add(path []graph.NodeID) SegmentID {
 // Sided segments additionally maintain the per-side pending-direction
 // counters and the per-side owner index.
 func (s *Store) AddSided(path []graph.NodeID, side Side) SegmentID {
-	if len(path) == 0 {
-		panic("walkstore: empty segment path")
-	}
-	if side != Unsided {
-		mustDir(side)
-	}
-	id, stored := s.appendSegment(path, side)
-	s.indexSegment(id, stored, side)
-	s.epoch.Add(1)
-	return id
+	return s.AddBatchSided([][]graph.NodeID{path}, side)[0]
 }
 
 // AddBatch stores many unsided segments under one arena-lock acquisition —
@@ -307,30 +328,107 @@ func (s *Store) AddBatchSided(paths [][]graph.NodeID, side Side) []SegmentID {
 	ids := make([]SegmentID, len(paths))
 	stored := make([][]graph.NodeID, len(paths))
 	s.segMu.Lock()
-	for i, p := range paths {
+	for _, p := range paths {
 		if len(p) == 0 {
 			s.segMu.Unlock()
 			panic("walkstore: empty segment path")
 		}
+	}
+	s.mutators.Add(1)
+	for i, p := range paths {
 		ids[i], stored[i] = s.appendSegmentLocked(p, side)
 	}
 	s.segMu.Unlock()
-	for i, p := range stored {
-		s.indexSegment(ids[i], p, side)
-	}
+	s.indexBatch(ids, stored, side)
 	s.epoch.Add(int64(len(paths)))
+	s.mutators.Add(-1)
 	return ids
 }
 
-// appendSegment writes one segment into the arena under the segment lock and
-// returns its ID together with the arena-resident copy of the path (stable
-// forever, safe to read after the lock is released).
-func (s *Store) appendSegment(path []graph.NodeID, side Side) (SegmentID, []graph.NodeID) {
-	s.segMu.Lock()
-	defer s.segMu.Unlock()
-	return s.appendSegmentLocked(path, side)
+// idxOp is one deferred per-node index update of a batch add, grouped by
+// counter stripe so a whole batch pays one lock acquisition per touched
+// stripe instead of one per visit.
+type idxOp struct {
+	id   SegmentID
+	v    graph.NodeID
+	pos  int32 // visit position; for opTerminal, the path's last position
+	kind uint8
 }
 
+const (
+	opVisit uint8 = iota
+	opOwner
+	opTerminal
+)
+
+// indexBatch registers freshly appended segments in the per-node counter
+// stripes — owner lists, terminal counters, one visit (and pending-position
+// entry) per path position — with all updates for one stripe applied under a
+// single lock acquisition. Per-node op order follows input order, so owner
+// lists keep insertion order.
+func (s *Store) indexBatch(ids []SegmentID, stored [][]graph.NodeID, side Side) {
+	var ops [numStripes][]idxOp
+	var totalDelta int64
+	var sidedDelta [2]int64
+	for i, p := range stored {
+		id := ids[i]
+		src := p[0]
+		ops[stripeIndex(src)] = append(ops[stripeIndex(src)], idxOp{id: id, v: src, kind: opOwner})
+		end := p[len(p)-1]
+		ops[stripeIndex(end)] = append(ops[stripeIndex(end)], idxOp{id: id, v: end, pos: int32(len(p) - 1), kind: opTerminal})
+		for pos, v := range p {
+			ops[stripeIndex(v)] = append(ops[stripeIndex(v)], idxOp{id: id, v: v, pos: int32(pos), kind: opVisit})
+			totalDelta++
+			if side >= 0 {
+				sidedDelta[side.PendingAt(pos)]++
+			}
+		}
+	}
+	for si := range ops {
+		if len(ops[si]) == 0 {
+			continue
+		}
+		st := &s.stripes[si]
+		st.mu.Lock()
+		for _, op := range ops[si] {
+			switch op.kind {
+			case opOwner:
+				ns := st.nodeCreate(op.v)
+				ns.owned = append(ns.owned, op.id)
+				if side >= 0 {
+					ns.ownedSided[side] = append(ns.ownedSided[side], op.id)
+				}
+			case opTerminal:
+				ns := st.nodeCreate(op.v)
+				ns.terminals++
+				if side >= 0 {
+					ns.sidedTerminals[side.PendingAt(int(op.pos))]++
+				}
+			case opVisit:
+				s.addVisitLocked(st, op.id, op.v, int(op.pos), side)
+			}
+		}
+		st.mu.Unlock()
+	}
+	s.bumpTotals(totalDelta, sidedDelta)
+}
+
+// bumpTotals applies one mutation's worth of deltas to the atomic global
+// mirrors (the per-stripe shares are updated inside the locked sections).
+func (s *Store) bumpTotals(totalDelta int64, sidedDelta [2]int64) {
+	if totalDelta != 0 {
+		s.totalVisits.Add(totalDelta)
+	}
+	for d := 0; d < 2; d++ {
+		if sidedDelta[d] != 0 {
+			s.sidedTotals[d].Add(sidedDelta[d])
+		}
+	}
+}
+
+// appendSegmentLocked writes one segment into the arena and returns its ID
+// together with the arena-resident copy of the path (stable forever, safe to
+// read after the lock is released). Caller holds segMu.
 func (s *Store) appendSegmentLocked(path []graph.NodeID, side Side) (SegmentID, []graph.NodeID) {
 	id := SegmentID(len(s.segs))
 	off := int64(len(s.arena))
@@ -341,122 +439,120 @@ func (s *Store) appendSegmentLocked(path []graph.NodeID, side Side) (SegmentID, 
 	return id, s.arena[off : off+int64(len(path)) : off+int64(len(path))]
 }
 
-// indexSegment registers a freshly appended segment in the per-node counter
-// stripes: owner index, terminal counters, and one visit per path position.
-func (s *Store) indexSegment(id SegmentID, path []graph.NodeID, side Side) {
-	src := path[0]
-	st := s.stripe(src)
-	st.mu.Lock()
-	st.owned[src] = append(st.owned[src], id)
-	if side >= 0 {
-		st.ownedSided[side][src] = append(st.ownedSided[side][src], id)
-	}
-	st.mu.Unlock()
-
-	end := path[len(path)-1]
-	st = s.stripe(end)
-	st.mu.Lock()
-	st.terminals[end]++
-	if side >= 0 {
-		st.sidedTerminals[side.PendingAt(len(path)-1)][end]++
-	}
-	st.mu.Unlock()
-
-	for pos, v := range path {
-		s.addVisit(id, v, pos, side)
-	}
-}
-
-func (s *Store) addVisit(id SegmentID, v graph.NodeID, pos int, side Side) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	vs := st.visitors[v]
-	if vs == nil {
-		vs = &visitorSet{}
-		st.visitors[v] = vs
-	}
-	vs.add(id)
-	st.visits[v]++
+// addVisitLocked records one visit of segment id to v at path position pos:
+// visit counters, stripe share, pending-position index, observer — one node
+// lookup, then field arithmetic. The caller holds v's stripe lock and is
+// responsible for the atomic global totals (bumpTotals).
+func (s *Store) addVisitLocked(st *counterStripe, id SegmentID, v graph.NodeID, pos int, side Side) {
+	ns := st.nodeCreate(v)
+	ns.visits++
 	st.totalVisits++
-	s.totalVisits.Add(1)
 	if side >= 0 {
 		d := side.PendingAt(pos)
-		st.sidedVisits[d][v]++
+		ns.sidedVisits[d]++
 		st.sidedTotals[d]++
-		s.sidedTotals[d].Add(1)
 	}
+	ns.pending[pendingBucket(side, pos)].add(id, int32(pos))
 	if s.observer != nil {
 		s.observer(id, v, pos, +1)
 	}
-	st.mu.Unlock()
 }
 
-func (s *Store) removeVisit(id SegmentID, v graph.NodeID, pos int, side Side) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	vs := st.visitors[v]
-	if vs == nil {
-		st.mu.Unlock()
-		panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, v))
-	}
-	if vs.remove(id) {
-		delete(st.visitors, v)
-	}
-	st.visits[v]--
-	if st.visits[v] == 0 {
-		delete(st.visits, v)
-	}
+// removeVisitLocked is addVisitLocked's inverse; it does not drain the node
+// (callers run maybeDelete once their stripe group completes).
+func (s *Store) removeVisitLocked(st *counterStripe, ns *nodeState, id SegmentID, v graph.NodeID, pos int, side Side) {
+	ns.visits--
 	st.totalVisits--
-	s.totalVisits.Add(-1)
 	if side >= 0 {
 		d := side.PendingAt(pos)
-		st.sidedVisits[d][v]--
-		if st.sidedVisits[d][v] == 0 {
-			delete(st.sidedVisits[d], v)
-		}
+		ns.sidedVisits[d]--
 		st.sidedTotals[d]--
-		s.sidedTotals[d].Add(-1)
 	}
+	ns.pending[pendingBucket(side, pos)].remove(id, int32(pos))
 	if s.observer != nil {
 		s.observer(id, v, pos, -1)
 	}
-	st.mu.Unlock()
 }
 
-// decTerminal drops one terminal count of v, clearing empty entries.
-func (s *Store) decTerminal(v graph.NodeID) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	st.terminals[v]--
-	if st.terminals[v] == 0 {
-		delete(st.terminals, v)
+// tailOp is one deferred counter update of a ReplaceTail/Remove, batched by
+// stripe exactly like idxOp: a redirect touches ~2L positions across ~2L
+// stripes' worth of nodes, and paying one lock acquisition and one atomic
+// total update per mutation instead of one per visit is a large share of the
+// arrival hot path.
+type tailOp struct {
+	v    graph.NodeID
+	pos  int32
+	kind uint8
+	d    Side // direction for sided terminal ops
+}
+
+const (
+	tailVisitRemove uint8 = iota
+	tailVisitAdd
+	tailTermDec
+	tailTermInc
+	tailSidedDec
+	tailSidedInc
+)
+
+var tailOpPool = sync.Pool{New: func() any { b := make([]tailOp, 0, 64); return &b }}
+
+// applyTailOps groups ops by counter stripe (stable, so one node's removals
+// keep their descending-position order) and applies each group under a
+// single stripe-lock acquisition, then bumps the atomic totals once.
+func (s *Store) applyTailOps(ops []tailOp, id SegmentID, side Side) {
+	// Stable insertion sort by stripe index: op lists are ~2L entries.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && stripeIndex(ops[j-1].v) > stripeIndex(ops[j].v); j-- {
+			ops[j-1], ops[j] = ops[j], ops[j-1]
+		}
 	}
-	st.mu.Unlock()
-}
-
-func (s *Store) incTerminal(v graph.NodeID) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	st.terminals[v]++
-	st.mu.Unlock()
-}
-
-// decSidedTerminal drops one sided terminal count, clearing empties.
-func (s *Store) decSidedTerminal(d Side, v graph.NodeID) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	st.sidedTerminals[d][v]--
-	if st.sidedTerminals[d][v] == 0 {
-		delete(st.sidedTerminals[d], v)
+	var totalDelta int64
+	var sidedDelta [2]int64
+	for i := 0; i < len(ops); {
+		si := stripeIndex(ops[i].v)
+		st := &s.stripes[si]
+		st.mu.Lock()
+		j := i
+		for ; j < len(ops) && stripeIndex(ops[j].v) == si; j++ {
+			op := ops[j]
+			switch op.kind {
+			case tailVisitRemove:
+				ns := st.node(op.v)
+				if ns == nil {
+					st.mu.Unlock()
+					panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, op.v))
+				}
+				s.removeVisitLocked(st, ns, id, op.v, int(op.pos), side)
+				totalDelta--
+				if side >= 0 {
+					sidedDelta[side.PendingAt(int(op.pos))]--
+				}
+				st.maybeDelete(op.v, ns)
+			case tailVisitAdd:
+				s.addVisitLocked(st, id, op.v, int(op.pos), side)
+				totalDelta++
+				if side >= 0 {
+					sidedDelta[side.PendingAt(int(op.pos))]++
+				}
+			case tailTermDec:
+				ns := st.node(op.v)
+				ns.terminals--
+				st.maybeDelete(op.v, ns)
+			case tailTermInc:
+				st.nodeCreate(op.v).terminals++
+			case tailSidedDec:
+				ns := st.node(op.v)
+				ns.sidedTerminals[op.d]--
+				st.maybeDelete(op.v, ns)
+			case tailSidedInc:
+				st.nodeCreate(op.v).sidedTerminals[op.d]++
+			}
+		}
+		st.mu.Unlock()
+		i = j
 	}
-	st.mu.Unlock()
-}
-
-func (s *Store) incSidedTerminal(d Side, v graph.NodeID) {
-	st := s.stripe(v)
-	st.mu.Lock()
-	st.sidedTerminals[d][v]++
-	st.mu.Unlock()
+	s.bumpTotals(totalDelta, sidedDelta)
 }
 
 // refLocked returns the live segRef for id, panicking on unknown or removed
@@ -486,13 +582,30 @@ func (s *Store) Path(id SegmentID) []graph.NodeID {
 	return s.pathLocked(s.refLocked(id))
 }
 
+// AppendPaths appends the paths of ids to dst (reset first) under a single
+// segment-lock acquisition — the repair scans' bulk fetch, one lock for a
+// whole frozen segment set instead of one per segment. The returned slices
+// carry Path's stability guarantee.
+func (s *Store) AppendPaths(dst [][]graph.NodeID, ids []SegmentID) [][]graph.NodeID {
+	dst = dst[:0]
+	s.segMu.RLock()
+	for _, id := range ids {
+		dst = append(dst, s.pathLocked(s.refLocked(id)))
+	}
+	s.segMu.RUnlock()
+	return dst
+}
+
 // OwnedBy returns the IDs of segments whose walks start at u, in insertion
 // order. The returned slice is a copy.
 func (s *Store) OwnedBy(u graph.NodeID) []SegmentID {
 	st := s.stripe(u)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return append([]SegmentID(nil), st.owned[u]...)
+	if ns := st.node(u); ns != nil {
+		return append([]SegmentID(nil), ns.owned...)
+	}
+	return nil
 }
 
 // OwnedSided returns the IDs of u's stored segments whose first step has the
@@ -502,7 +615,10 @@ func (s *Store) OwnedSided(u graph.NodeID, side Side) []SegmentID {
 	st := s.stripe(u)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return append([]SegmentID(nil), st.ownedSided[side][u]...)
+	if ns := st.node(u); ns != nil {
+		return append([]SegmentID(nil), ns.ownedSided[side]...)
+	}
+	return nil
 }
 
 // SideOf returns the side a live segment was stored with (Unsided for plain
@@ -521,7 +637,10 @@ func (s *Store) PendingVisits(v graph.NodeID, dir Side) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.sidedVisits[dir][v]
+	if ns := st.node(v); ns != nil {
+		return ns.sidedVisits[dir]
+	}
+	return 0
 }
 
 // PendingTerminals returns the number of stored sided segments that end at v
@@ -532,7 +651,10 @@ func (s *Store) PendingTerminals(v graph.NodeID, dir Side) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.sidedTerminals[dir][v]
+	if ns := st.node(v); ns != nil {
+		return ns.sidedTerminals[dir]
+	}
+	return 0
 }
 
 // PendingCandidates returns the number of dir-direction steps stored sided
@@ -545,7 +667,10 @@ func (s *Store) PendingCandidates(v graph.NodeID, dir Side) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.sidedVisits[dir][v] - st.sidedTerminals[dir][v]
+	if ns := st.node(v); ns != nil {
+		return ns.sidedVisits[dir] - ns.sidedTerminals[dir]
+	}
+	return 0
 }
 
 // PendingTotal returns the total number of stored sided visits pending a
@@ -566,16 +691,18 @@ func (s *Store) PendingVisitCounts(dir Side) (counts map[graph.NodeID]int64, tot
 	size := 0
 	for i := range s.stripes {
 		s.stripes[i].mu.RLock()
-		size += len(s.stripes[i].sidedVisits[dir])
+		size += s.stripes[i].numNodes
 		s.stripes[i].mu.RUnlock()
 	}
 	counts = make(map[graph.NodeID]int64, size)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for v, x := range st.sidedVisits[dir] {
-			counts[v] = x
-		}
+		st.each(i, func(v graph.NodeID, ns *nodeState) {
+			if x := ns.sidedVisits[dir]; x != 0 {
+				counts[v] = x
+			}
+		})
 		total += st.sidedTotals[dir]
 		st.mu.RUnlock()
 	}
@@ -590,35 +717,36 @@ func (s *Store) PendingVisitFraction(v graph.NodeID, dir Side) (visits, total in
 	mustDir(dir)
 	st := s.stripe(v)
 	st.mu.RLock()
-	visits = st.sidedVisits[dir][v]
+	if ns := st.node(v); ns != nil {
+		visits = ns.sidedVisits[dir]
+	}
 	st.mu.RUnlock()
 	return visits, s.sidedTotals[dir].Load()
 }
 
-// Visitors returns the IDs of segments that visit v. Order is unspecified.
+// Visitors returns the IDs of segments that visit v, ascending. It is
+// derived from the pending-position buckets (which hold one entry per
+// visit), so it costs a sort over the visit count rather than a table read —
+// acceptable for its remaining callers (the legacy scan path and tests); the
+// hot paths consume AppendPendingPositions directly.
 func (s *Store) Visitors(v graph.NodeID) []SegmentID {
 	st := s.stripe(v)
 	st.mu.RLock()
-	defer st.mu.RUnlock()
-	vs := st.visitors[v]
-	if vs == nil {
-		return nil
+	var ids []SegmentID
+	if ns := st.node(v); ns != nil {
+		for b := range ns.pending {
+			ids = ns.pending[b].appendSegs(ids)
+		}
 	}
-	ids := make([]SegmentID, 0, vs.distinct())
-	vs.each(func(id SegmentID, _ int32) { ids = append(ids, id) })
-	return ids
+	st.mu.RUnlock()
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }
 
 // W returns the number of distinct segments visiting v — the paper's W(v).
+// Derived like Visitors.
 func (s *Store) W(v graph.NodeID) int {
-	st := s.stripe(v)
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	vs := st.visitors[v]
-	if vs == nil {
-		return 0
-	}
-	return vs.distinct()
+	return len(s.Visitors(v))
 }
 
 // Visits returns X_v, the total visit count of v across stored segments.
@@ -626,7 +754,10 @@ func (s *Store) Visits(v graph.NodeID) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.visits[v]
+	if ns := st.node(v); ns != nil {
+		return ns.visits
+	}
+	return 0
 }
 
 // Terminals returns T(v), the number of stored segments whose path ends at v.
@@ -634,7 +765,10 @@ func (s *Store) Terminals(v graph.NodeID) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.terminals[v]
+	if ns := st.node(v); ns != nil {
+		return ns.terminals
+	}
+	return 0
 }
 
 // Candidates returns X_v - T(v): the number of outgoing walk steps stored
@@ -648,7 +782,10 @@ func (s *Store) Candidates(v graph.NodeID) int64 {
 	st := s.stripe(v)
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.visits[v] - st.terminals[v]
+	if ns := st.node(v); ns != nil {
+		return ns.visits - ns.terminals
+	}
+	return 0
 }
 
 // VisitFraction returns X_v together with the total visit count. The count
@@ -657,7 +794,9 @@ func (s *Store) Candidates(v graph.NodeID) int64 {
 func (s *Store) VisitFraction(v graph.NodeID) (visits, total int64) {
 	st := s.stripe(v)
 	st.mu.RLock()
-	visits = st.visits[v]
+	if ns := st.node(v); ns != nil {
+		visits = ns.visits
+	}
 	st.mu.RUnlock()
 	return visits, s.totalVisits.Load()
 }
@@ -673,16 +812,18 @@ func (s *Store) VisitCounts() map[graph.NodeID]int64 {
 	size := 0
 	for i := range s.stripes {
 		s.stripes[i].mu.RLock()
-		size += len(s.stripes[i].visits)
+		size += s.stripes[i].numNodes
 		s.stripes[i].mu.RUnlock()
 	}
 	out := make(map[graph.NodeID]int64, size)
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		st.mu.RLock()
-		for v, x := range st.visits {
-			out[v] = x
-		}
+		st.each(i, func(v graph.NodeID, ns *nodeState) {
+			if ns.visits != 0 {
+				out[v] = ns.visits
+			}
+		})
 		st.mu.RUnlock()
 	}
 	return out
@@ -722,27 +863,35 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 		newEnd = newTail[len(newTail)-1]
 	}
 	oldEnd := old[r.n-1]
+	opsp := tailOpPool.Get().(*[]tailOp)
+	ops := (*opsp)[:0]
 	if oldEnd != newEnd {
-		s.decTerminal(oldEnd)
-		s.incTerminal(newEnd)
+		ops = append(ops,
+			tailOp{v: oldEnd, kind: tailTermDec},
+			tailOp{v: newEnd, kind: tailTermInc})
 	}
 	if r.side >= 0 {
 		oldD := r.side.PendingAt(int(r.n) - 1)
 		newD := r.side.PendingAt(n - 1)
 		if oldEnd != newEnd || oldD != newD {
-			s.decSidedTerminal(oldD, oldEnd)
-			s.incSidedTerminal(newD, newEnd)
+			ops = append(ops,
+				tailOp{v: oldEnd, kind: tailSidedDec, d: oldD},
+				tailOp{v: newEnd, kind: tailSidedInc, d: newD})
 		}
 	}
 	for pos := int(r.n) - 1; pos >= keep; pos-- {
-		s.removeVisit(id, old[pos], pos, r.side)
+		ops = append(ops, tailOp{v: old[pos], pos: int32(pos), kind: tailVisitRemove})
 		removed++
 	}
 	for i, v := range newTail {
-		s.addVisit(id, v, keep+i, r.side)
+		ops = append(ops, tailOp{v: v, pos: int32(keep + i), kind: tailVisitAdd})
 		added++
 	}
+	s.applyTailOps(ops, id, r.side)
+	*opsp = ops[:0]
+	tailOpPool.Put(opsp)
 	s.epoch.Add(1)
+	s.mutators.Add(-1)
 	return removed, added
 }
 
@@ -761,6 +910,7 @@ func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []
 	if keep == int(r.n) && len(newTail) == 0 {
 		return nil, r, true
 	}
+	s.mutators.Add(1)
 	old = s.pathLocked(r)
 	off := int64(len(s.arena))
 	s.arena = append(s.arena, old[:keep]...)
@@ -777,40 +927,35 @@ func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []
 // by the caller.
 func (s *Store) Remove(id SegmentID) {
 	p, r := s.retire(id)
-	s.decTerminal(p[len(p)-1])
+	opsp := tailOpPool.Get().(*[]tailOp)
+	ops := (*opsp)[:0]
+	ops = append(ops, tailOp{v: p[len(p)-1], kind: tailTermDec})
 	if r.side >= 0 {
-		s.decSidedTerminal(r.side.PendingAt(len(p)-1), p[len(p)-1])
+		ops = append(ops, tailOp{v: p[len(p)-1], kind: tailSidedDec, d: r.side.PendingAt(len(p) - 1)})
 	}
 	for pos := len(p) - 1; pos >= 0; pos-- {
-		s.removeVisit(id, p[pos], pos, r.side)
+		ops = append(ops, tailOp{v: p[pos], pos: int32(pos), kind: tailVisitRemove})
 	}
+	s.applyTailOps(ops, id, r.side)
+	*opsp = ops[:0]
+	tailOpPool.Put(opsp)
 	src := p[0]
 	st := s.stripe(src)
 	st.mu.Lock()
-	ids := st.owned[src]
-	for i, x := range ids {
-		if x == id {
-			st.owned[src] = append(ids[:i], ids[i+1:]...)
-			break
+	if ns := st.node(src); ns != nil {
+		if i := slices.Index(ns.owned, id); i >= 0 {
+			ns.owned = slices.Delete(ns.owned, i, i+1)
 		}
-	}
-	if len(st.owned[src]) == 0 {
-		delete(st.owned, src)
-	}
-	if r.side >= 0 {
-		sids := st.ownedSided[r.side][src]
-		for i, x := range sids {
-			if x == id {
-				st.ownedSided[r.side][src] = append(sids[:i], sids[i+1:]...)
-				break
+		if r.side >= 0 {
+			if i := slices.Index(ns.ownedSided[r.side], id); i >= 0 {
+				ns.ownedSided[r.side] = slices.Delete(ns.ownedSided[r.side], i, i+1)
 			}
 		}
-		if len(st.ownedSided[r.side][src]) == 0 {
-			delete(st.ownedSided[r.side], src)
-		}
+		st.maybeDelete(src, ns)
 	}
 	st.mu.Unlock()
 	s.epoch.Add(1)
+	s.mutators.Add(-1)
 }
 
 // retire performs Remove's segment-table phase under the segment lock,
@@ -820,6 +965,7 @@ func (s *Store) retire(id SegmentID) ([]graph.NodeID, segRef) {
 	s.segMu.Lock()
 	defer s.segMu.Unlock()
 	r := s.refLocked(id)
+	s.mutators.Add(1)
 	p := s.pathLocked(r)
 	s.segs[id].live = false
 	s.numLive--
@@ -827,12 +973,19 @@ func (s *Store) retire(id SegmentID) ([]graph.NodeID, segRef) {
 	return p, r
 }
 
-// Validate checks the visit index, counters, arena references, per-stripe
-// residency, and the per-stripe total shares against the stored paths.
-// O(total path length); for tests. Validate assumes a quiescent store: it
-// takes every lock, but a mutation caught mid-flight (between its arena
-// write and its counter updates) is indistinguishable from corruption, so
-// call it only while no mutation is in progress.
+// Validate checks the visit counters, pending-position index, arena
+// references, per-stripe residency, and the per-stripe total shares against
+// the stored paths. O(total path length); for tests.
+//
+// Validate is only meaningful on a consistent store, and it enforces that
+// itself: it acquires the segment lock plus every counter stripe (blocking
+// new mutations for the duration), then checks the in-flight mutation count.
+// A mutation caught between its arena phase and its counter updates holds no
+// lock, so without the check it would be indistinguishable from corruption;
+// with it, Validate fails loudly with ErrConcurrentMutation (wrapped, test
+// with errors.Is) instead of reporting a bogus mismatch. Callers that cannot
+// guarantee quiescence may also bracket Validate with Epoch() reads to learn
+// how much the store moved around the pass.
 func (s *Store) Validate() error {
 	s.segMu.RLock()
 	defer s.segMu.RUnlock()
@@ -840,15 +993,24 @@ func (s *Store) Validate() error {
 		s.stripes[i].mu.RLock()
 		defer s.stripes[i].mu.RUnlock()
 	}
+	// With segMu and every stripe held, a mutation can neither start (the
+	// arena phase needs segMu) nor advance (counter updates need a stripe),
+	// so a non-zero count here is definitive, not transient.
+	if n := s.mutators.Load(); n != 0 {
+		return fmt.Errorf("%w: %d segment mutations in flight", ErrConcurrentMutation, n)
+	}
 
 	wantVisits := make(map[graph.NodeID]int64)
-	wantVisitors := make(map[graph.NodeID]map[SegmentID]int32)
 	wantTerminals := make(map[graph.NodeID]int64)
 	var wantSidedVisits, wantSidedTerminals [2]map[graph.NodeID]int64
 	var wantSidedTotals [2]int64
 	for d := 0; d < 2; d++ {
 		wantSidedVisits[d] = make(map[graph.NodeID]int64)
 		wantSidedTerminals[d] = make(map[graph.NodeID]int64)
+	}
+	var wantPending [pendingBuckets]map[graph.NodeID]map[PosHit]bool
+	for b := range wantPending {
+		wantPending[b] = make(map[graph.NodeID]map[PosHit]bool)
 	}
 	var total, live int64
 	numLive := 0
@@ -871,23 +1033,26 @@ func (s *Store) Validate() error {
 		for pos, v := range p {
 			wantVisits[v]++
 			total++
-			if wantVisitors[v] == nil {
-				wantVisitors[v] = make(map[SegmentID]int32)
-			}
-			wantVisitors[v][id]++
 			if r.side >= 0 {
 				d := r.side.PendingAt(pos)
 				wantSidedVisits[d][v]++
 				wantSidedTotals[d]++
 			}
+			b := pendingBucket(r.side, pos)
+			if wantPending[b][v] == nil {
+				wantPending[b][v] = make(map[PosHit]bool)
+			}
+			wantPending[b][v][PosHit{Seg: id, Pos: int32(pos)}] = true
 		}
 		if r.side >= 0 {
 			wantSidedTerminals[r.side.PendingAt(len(p)-1)][p[len(p)-1]]++
-			if !slices.Contains(s.stripe(p[0]).ownedSided[r.side][p[0]], id) {
+			ns := s.stripe(p[0]).node(p[0])
+			if ns == nil || !slices.Contains(ns.ownedSided[r.side], id) {
 				return fmt.Errorf("walkstore: segment %d missing from sided owner index of node %d", id, p[0])
 			}
 		}
-		if !slices.Contains(s.stripe(p[0]).owned[p[0]], id) {
+		ns := s.stripe(p[0]).node(p[0])
+		if ns == nil || !slices.Contains(ns.owned, id) {
 			return fmt.Errorf("walkstore: segment %d missing from owner index of node %d", id, p[0])
 		}
 	}
@@ -901,85 +1066,94 @@ func (s *Store) Validate() error {
 		return fmt.Errorf("walkstore: totalVisits=%d want %d", got, total)
 	}
 
-	// Per-stripe checks: residency (a node's counters live in its hash
-	// stripe), counter exactness, and the stripe total shares summing to the
-	// atomic globals.
+	// Per-stripe checks: residency (a node's state lives in the stripe and
+	// slot its ID selects), counter exactness, and the stripe total shares
+	// summing to the atomic globals.
 	var stripeTotal int64
 	var stripeSided [2]int64
 	nVisits, nTerminals := 0, 0
 	var nSidedVisits, nSidedTerminals [2]int
+	var nPending [pendingBuckets]int
+	var nodeErr error
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		stripeTotal += st.totalVisits
 		for d := 0; d < 2; d++ {
 			stripeSided[d] += st.sidedTotals[d]
-			nSidedVisits[d] += len(st.sidedVisits[d])
-			nSidedTerminals[d] += len(st.sidedTerminals[d])
-			for v := range st.sidedVisits[d] {
+		}
+		numNodes := 0
+		st.each(i, func(v graph.NodeID, ns *nodeState) {
+			numNodes++
+			if nodeErr != nil {
+				return
+			}
+			nodeErr = func() error {
 				if stripeIndex(v) != i {
-					return fmt.Errorf("walkstore: node %d sided visits resident in stripe %d, want %d", v, i, stripeIndex(v))
+					return fmt.Errorf("walkstore: node %d state resident in stripe %d, want %d", v, i, stripeIndex(v))
 				}
-			}
-			for v := range st.ownedSided[d] {
-				if len(st.ownedSided[d][v]) == 0 {
-					return fmt.Errorf("walkstore: empty sided owner slot for node %d", v)
+				if uint64(v) >= denseLimit {
+					if _, ok := st.sparse[v]; !ok {
+						return fmt.Errorf("walkstore: node %d outside dense range but not in sparse table", v)
+					}
 				}
-			}
-		}
-		nVisits += len(st.visits)
-		nTerminals += len(st.terminals)
-		for v, x := range st.visits {
-			if stripeIndex(v) != i {
-				return fmt.Errorf("walkstore: node %d counters resident in stripe %d, want %d", v, i, stripeIndex(v))
-			}
-			if wantVisits[v] != x {
-				return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, x, wantVisits[v])
-			}
-			vs := st.visitors[v]
-			if vs == nil {
-				return fmt.Errorf("walkstore: missing visitor set for node %d", v)
-			}
-			if vs.m != nil && (vs.ids != nil || vs.counts != nil) {
-				return fmt.Errorf("walkstore: visitors[%d] has both slice and map representations", v)
-			}
-			if vs.m == nil && !slices.IsSorted(vs.ids) {
-				return fmt.Errorf("walkstore: visitors[%d] ids not sorted", v)
-			}
-			if vs.distinct() != len(wantVisitors[v]) {
-				return fmt.Errorf("walkstore: visitors[%d] has %d segments, want %d", v, vs.distinct(), len(wantVisitors[v]))
-			}
-			for id, c := range wantVisitors[v] {
-				if got := vs.count(id); got != c {
-					return fmt.Errorf("walkstore: visitors[%d][%d]=%d want %d", v, id, got, c)
+				if ns.empty() {
+					return fmt.Errorf("walkstore: drained node state retained for node %d", v)
 				}
-			}
-		}
-		for v := range st.visitors {
-			if wantVisits[v] == 0 {
-				return fmt.Errorf("walkstore: stale visitor set for node %d", v)
-			}
-		}
-		for v, c := range st.terminals {
-			if wantTerminals[v] != c {
-				return fmt.Errorf("walkstore: terminals[%d]=%d want %d", v, c, wantTerminals[v])
-			}
-		}
-		for v := range st.owned {
-			if len(st.owned[v]) == 0 {
-				return fmt.Errorf("walkstore: empty owner slot for node %d", v)
-			}
-		}
-		for d := 0; d < 2; d++ {
-			for v, x := range st.sidedVisits[d] {
-				if wantSidedVisits[d][v] != x {
-					return fmt.Errorf("walkstore: sidedVisits[%d][%d]=%d want %d", d, v, x, wantSidedVisits[d][v])
+				if ns.visits != wantVisits[v] {
+					return fmt.Errorf("walkstore: visits[%d]=%d want %d", v, ns.visits, wantVisits[v])
 				}
-			}
-			for v, x := range st.sidedTerminals[d] {
-				if wantSidedTerminals[d][v] != x {
-					return fmt.Errorf("walkstore: sidedTerminals[%d][%d]=%d want %d", d, v, x, wantSidedTerminals[d][v])
+				if ns.visits != 0 {
+					nVisits++
 				}
-			}
+				// The pending buckets double as the inverted visitor index
+				// (one entry per visit); their exact-set check below subsumes
+				// a separate per-segment multiplicity check.
+				var pendingN int
+				for b := 0; b < pendingBuckets; b++ {
+					pendingN += ns.pending[b].n
+				}
+				if int64(pendingN) != ns.visits {
+					return fmt.Errorf("walkstore: node %d has %d pending entries for %d visits", v, pendingN, ns.visits)
+				}
+				if ns.terminals != wantTerminals[v] {
+					return fmt.Errorf("walkstore: terminals[%d]=%d want %d", v, ns.terminals, wantTerminals[v])
+				}
+				if ns.terminals != 0 {
+					nTerminals++
+				}
+				for d := 0; d < 2; d++ {
+					if ns.sidedVisits[d] != wantSidedVisits[d][v] {
+						return fmt.Errorf("walkstore: sidedVisits[%d][%d]=%d want %d", d, v, ns.sidedVisits[d], wantSidedVisits[d][v])
+					}
+					if ns.sidedVisits[d] != 0 {
+						nSidedVisits[d]++
+					}
+					if ns.sidedTerminals[d] != wantSidedTerminals[d][v] {
+						return fmt.Errorf("walkstore: sidedTerminals[%d][%d]=%d want %d", d, v, ns.sidedTerminals[d], wantSidedTerminals[d][v])
+					}
+					if ns.sidedTerminals[d] != 0 {
+						nSidedTerminals[d]++
+					}
+				}
+				for b := 0; b < pendingBuckets; b++ {
+					px := &ns.pending[b]
+					if px.n != 0 {
+						nPending[b]++
+						if err := validatePosIndex(b, v, px, wantPending[b][v]); err != nil {
+							return err
+						}
+					} else if len(wantPending[b][v]) != 0 {
+						return fmt.Errorf("walkstore: pending[%d][%d] empty, want %d entries", b, v, len(wantPending[b][v]))
+					}
+				}
+				return nil
+			}()
+		})
+		if nodeErr != nil {
+			return nodeErr
+		}
+		if numNodes != st.numNodes {
+			return fmt.Errorf("walkstore: stripe %d tracks %d nodes, found %d", i, st.numNodes, numNodes)
 		}
 	}
 	if nVisits != len(wantVisits) {
@@ -1003,6 +1177,48 @@ func (s *Store) Validate() error {
 		}
 		if got := s.sidedTotals[d].Load(); got != wantSidedTotals[d] {
 			return fmt.Errorf("walkstore: sidedTotals[%d]=%d want %d", d, got, wantSidedTotals[d])
+		}
+	}
+	for b := 0; b < pendingBuckets; b++ {
+		if nPending[b] != len(wantPending[b]) {
+			return fmt.Errorf("walkstore: pending index bucket %d has %d nodes, want %d", b, nPending[b], len(wantPending[b]))
+		}
+	}
+	return nil
+}
+
+// validatePosIndex cross-checks one node's pending-position bucket against
+// the full-path recount: exact entry set, representation exclusivity, and
+// sorted/duplicate-free invariants in both representations.
+func validatePosIndex(b int, v graph.NodeID, px *posIndex, want map[PosHit]bool) error {
+	if px.m != nil && px.list != nil {
+		return fmt.Errorf("walkstore: pending[%d][%d] has both slice and map representations", b, v)
+	}
+	if px.n != len(want) {
+		return fmt.Errorf("walkstore: pending[%d][%d] has %d entries, want %d", b, v, px.n, len(want))
+	}
+	if px.m != nil {
+		for seg, ps := range px.m {
+			if len(ps) == 0 {
+				return fmt.Errorf("walkstore: pending[%d][%d] keeps empty position list for segment %d", b, v, seg)
+			}
+			for i, p := range ps {
+				if i > 0 && ps[i-1] >= p {
+					return fmt.Errorf("walkstore: pending[%d][%d] segment %d positions not strictly sorted", b, v, seg)
+				}
+				if !want[PosHit{Seg: seg, Pos: p}] {
+					return fmt.Errorf("walkstore: pending[%d][%d] has stale entry (%d,%d)", b, v, seg, p)
+				}
+			}
+		}
+		return nil
+	}
+	for i, e := range px.list {
+		if i > 0 && px.list[i-1] >= e {
+			return fmt.Errorf("walkstore: pending[%d][%d] list not strictly sorted at %d", b, v, i)
+		}
+		if h := unpackEntry(e); !want[h] {
+			return fmt.Errorf("walkstore: pending[%d][%d] has stale entry (%d,%d)", b, v, h.Seg, h.Pos)
 		}
 	}
 	return nil
