@@ -1,0 +1,356 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/pagerank"
+	"fastppr/internal/persist"
+	"fastppr/internal/salsa"
+	"fastppr/internal/socialstore"
+	"fastppr/internal/walkstore"
+)
+
+// The crash harness proves the durability contract end to end, with a real
+// kill -9 rather than an in-process simulation: a child process runs a
+// persisted serialized storm, announcing each committed edge on stdout; the
+// parent SIGKILLs it at a seeded random edge, re-runs it in resume mode
+// (recover, rebuild the social graph to the recovered cursor, restore the
+// update RNG, apply the rest of the storm), and compares the resumed run's
+// final walk store — bitwise — against an uninterrupted in-process
+// reference. pagerank runs under fsync-every-record (recovery lands exactly
+// on the kill edge); salsa runs under batch:16 (recovery lands on an earlier
+// committed edge and redoes the tail), covering both resume shapes.
+
+// crashRun is one engine's kill/recover/resume result.
+type crashRun struct {
+	Engine          string  `json:"engine"`
+	FsyncPolicy     string  `json:"fsync_policy"`
+	StormEdges      int     `json:"storm_edges"`
+	KillAtEdge      int     `json:"kill_at_edge"`
+	RecoveredCursor int64   `json:"recovered_cursor"`
+	ReplayedRecords int     `json:"replayed_records"`
+	DiscardedRecs   int     `json:"discarded_records"`
+	TornBytes       int64   `json:"torn_bytes"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	ValidateClean   bool    `json:"validate_clean"`
+	EstimatesMatch  bool    `json:"estimates_match"`
+}
+
+type crashReport struct {
+	Runs []crashRun `json:"runs"`
+}
+
+// crashStormCap keeps the harness CI-sized; the kill lands mid-storm, so a
+// longer storm only adds time, not coverage.
+const crashStormCap = 900
+
+// crashWorkload derives the base graph and hot-spot storm both processes
+// (and both phases) must agree on, purely from the flag values the parent
+// forwards to the child.
+func crashWorkload(n, d int, seed uint64, updates int) (*graph.Graph, []graph.Edge) {
+	base := gen.PreferentialAttachment(n, d, rand.New(rand.NewPCG(seed, 0)))
+	m := updates
+	if m > crashStormCap {
+		m = crashStormCap
+	}
+	storm := gen.HotSpotStream(n, m, rand.New(rand.NewPCG(seed, 0xc4a54)))
+	return base, storm
+}
+
+func crashPolicy(engine string) string {
+	if engine == "salsa" {
+		return "batch:16"
+	}
+	return "record"
+}
+
+// storeFingerprint hashes everything an estimate is computed from: the total
+// and per-node visit counts, plus the store epoch. Two stores with equal
+// fingerprints serve bitwise-identical PageRank/SALSA estimates.
+func storeFingerprint(s interface {
+	VisitCounts() map[graph.NodeID]int64
+	TotalVisits() int64
+	Epoch() int64
+}) uint64 {
+	counts := s.VisitCounts()
+	nodes := make([]graph.NodeID, 0, len(counts))
+	for v := range counts {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(x uint64) {
+		for i := range b {
+			b[i] = byte(x >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	w(uint64(s.TotalVisits()))
+	w(uint64(s.Epoch()))
+	for _, v := range nodes {
+		w(uint64(v))
+		w(uint64(counts[v]))
+	}
+	return h.Sum64()
+}
+
+// crashMaintainer abstracts the two engines behind the handful of calls the
+// harness needs.
+type crashMaintainer interface {
+	Bootstrap() int64
+	ApplyEdge(graph.Edge)
+	ApplyEdges([]graph.Edge)
+	UpdateRNGState() []byte
+	RestoreUpdateRNGState([]byte) error
+}
+
+func newEngineMaintainer(engine string, soc *socialstore.Store, r int, eps float64, seed uint64, walks *walkstore.Store) crashMaintainer {
+	if engine == "salsa" {
+		return salsa.NewWithStore(soc, salsa.Config{Eps: eps, R: r, Workers: 1, Seed: seed}, walks)
+	}
+	return pagerank.NewWithStore(soc, pagerank.Config{Eps: eps, R: r, Workers: 1, Seed: seed}, walks)
+}
+
+func recoverEngineMaintainer(engine string, soc *socialstore.Store, r int, eps float64, seed uint64, walks *walkstore.Store) crashMaintainer {
+	if engine == "salsa" {
+		return salsa.Recover(soc, salsa.Config{Eps: eps, R: r, Workers: 1, Seed: seed}, walks)
+	}
+	return pagerank.Recover(soc, pagerank.Config{Eps: eps, R: r, Workers: 1, Seed: seed}, walks)
+}
+
+// crashResult is what the resume-phase child hands back to the parent.
+type crashResult struct {
+	Cursor          int64   `json:"cursor"`
+	Replayed        int     `json:"replayed"`
+	Discarded       int     `json:"discarded"`
+	TornBytes       int64   `json:"torn_bytes"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	ValidateClean   bool    `json:"validate_clean"`
+	ValidateError   string  `json:"validate_error,omitempty"`
+	Fingerprint     uint64  `json:"fingerprint"`
+}
+
+// runCrashHarness is the parent side: for each engine, compute the
+// uninterrupted reference fingerprint in-process, kill a storm child at a
+// seeded edge, then run a resume child and compare.
+func runCrashHarness(n, d, r int, eps float64, seed uint64, updates int, root string) (*crashReport, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	rep := &crashReport{}
+	for _, engine := range []string{"pagerank", "salsa"} {
+		bailIfInterrupted(nil)
+		base, storm := crashWorkload(n, d, seed, updates)
+		run := crashRun{Engine: engine, FsyncPolicy: crashPolicy(engine), StormEdges: len(storm)}
+
+		// Uninterrupted reference, fully in-process and serialized.
+		want := crashReference(engine, base, storm, r, eps, seed)
+
+		// Kill target: strictly inside the storm's middle half, seeded.
+		killRNG := rand.New(rand.NewPCG(seed, 0x717))
+		run.KillAtEdge = len(storm)/4 + killRNG.IntN(len(storm)/2)
+
+		dir := filepath.Join(root, "crash-"+engine)
+		if err := os.RemoveAll(dir); err != nil {
+			return nil, err
+		}
+		forward := []string{
+			"-crashchild", engine, "-crashdir", dir,
+			"-n", fmt.Sprint(n), "-d", fmt.Sprint(d), "-r", fmt.Sprint(r),
+			"-eps", fmt.Sprint(eps), "-seed", fmt.Sprint(seed), "-updates", fmt.Sprint(updates),
+		}
+
+		fmt.Printf("crash %-8s storm of %d edges, kill -9 at edge %d (%s)\n",
+			engine, len(storm), run.KillAtEdge, run.FsyncPolicy)
+		if err := runStormChildAndKill(exe, forward, run.KillAtEdge); err != nil {
+			return nil, fmt.Errorf("%s storm child: %w", engine, err)
+		}
+
+		resume := exec.Command(exe, append(forward, "-crashphase", "resume")...)
+		resume.Stderr = os.Stderr
+		if err := resume.Run(); err != nil {
+			return nil, fmt.Errorf("%s resume child: %w", engine, err)
+		}
+		buf, err := os.ReadFile(filepath.Join(dir, "crash_result.json"))
+		if err != nil {
+			return nil, fmt.Errorf("%s resume child left no result: %w", engine, err)
+		}
+		var cr crashResult
+		if err := json.Unmarshal(buf, &cr); err != nil {
+			return nil, fmt.Errorf("%s crash result: %w", engine, err)
+		}
+		run.RecoveredCursor = cr.Cursor
+		run.ReplayedRecords = cr.Replayed
+		run.DiscardedRecs = cr.Discarded
+		run.TornBytes = cr.TornBytes
+		run.RecoverySeconds = cr.RecoverySeconds
+		run.ValidateClean = cr.ValidateClean
+		run.EstimatesMatch = cr.Fingerprint == want
+		rep.Runs = append(rep.Runs, run)
+		status := "estimates MATCH reference bitwise"
+		if !run.EstimatesMatch {
+			status = "estimates DIVERGE from reference"
+		}
+		fmt.Printf("crash %-8s recovered cursor %d (torn %d B, %d replayed, %d discarded) in %.3fs; validate clean=%v; %s\n",
+			engine, run.RecoveredCursor, run.TornBytes, run.ReplayedRecords, run.DiscardedRecs,
+			run.RecoverySeconds, run.ValidateClean, status)
+		if cr.ValidateError != "" {
+			fmt.Printf("crash %-8s validate error: %s\n", engine, cr.ValidateError)
+		}
+		os.RemoveAll(dir)
+	}
+	return rep, nil
+}
+
+// runStormChildAndKill starts the storm-phase child, watches its stdout for
+// committed-edge announcements, and SIGKILLs it the moment the target edge
+// is committed — a real unclean death at a deterministic point.
+func runStormChildAndKill(exe string, forward []string, killAt int) error {
+	child := exec.Command(exe, append(forward, "-crashphase", "storm")...)
+	child.Stderr = os.Stderr
+	outPipe, err := child.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := child.Start(); err != nil {
+		return err
+	}
+	killed := false
+	sc := bufio.NewScanner(outPipe)
+	for sc.Scan() {
+		var edge int
+		if _, err := fmt.Sscanf(sc.Text(), "EDGE %d", &edge); err != nil {
+			continue
+		}
+		if edge >= killAt {
+			if err := child.Process.Kill(); err != nil {
+				return err
+			}
+			killed = true
+			break
+		}
+	}
+	err = child.Wait()
+	if !killed {
+		return fmt.Errorf("child finished its storm before the kill target (err=%v)", err)
+	}
+	return nil
+}
+
+// crashReference runs the storm uninterrupted, serialized, in-process.
+func crashReference(engine string, base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64) uint64 {
+	soc := socialstore.New(base.Clone())
+	switch engine {
+	case "salsa":
+		mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
+		mt.Bootstrap()
+		mt.ApplyEdges(storm)
+		return storeFingerprint(mt.Store())
+	default:
+		mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
+		mt.Bootstrap()
+		mt.ApplyEdges(storm)
+		return storeFingerprint(mt.Store())
+	}
+}
+
+// runCrashChild is the child-process entry point (hidden -crashchild flag):
+// phase "storm" runs the persisted storm until killed, phase "resume"
+// recovers and finishes it.
+func runCrashChild(engine, phase, dir string, n, d, r int, eps float64, seed uint64, updates int) error {
+	base, storm := crashWorkload(n, d, seed, updates)
+	pcfg, err := parsePolicy(crashPolicy(engine))
+	if err != nil {
+		return err
+	}
+	pcfg.Dir = dir
+
+	switch phase {
+	case "storm":
+		pm, walks, _, err := persist.Open(pcfg)
+		if err != nil {
+			return err
+		}
+		soc := socialstore.New(base.Clone())
+		mt := newEngineMaintainer(engine, soc, r, eps, seed, walks)
+		mt.Bootstrap()
+		// Commit cursor -1 (nothing applied yet) before the first real edge:
+		// this declares the run transactional, so a kill before the first
+		// per-edge marker becomes durable still discards the uncommitted WAL
+		// suffix instead of replaying it under plain-persistence rules.
+		if err := pm.Commit(-1, mt.UpdateRNGState()); err != nil {
+			return err
+		}
+		if err := pm.Checkpoint(); err != nil {
+			return err
+		}
+		for i, ed := range storm {
+			mt.ApplyEdge(ed)
+			if err := pm.Commit(int64(i), mt.UpdateRNGState()); err != nil {
+				return err
+			}
+			if i == len(storm)/3 {
+				// Mid-storm checkpoint: the kill may land in any of the
+				// snapshot/WAL handshake windows.
+				if err := pm.Checkpoint(); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("EDGE %d\n", i)
+		}
+		fmt.Println("DONE")
+		return pm.Close()
+
+	case "resume":
+		t0 := time.Now()
+		pm, walks, info, err := persist.Open(persist.Config{Dir: dir})
+		if err != nil {
+			return err
+		}
+		defer pm.Close()
+		if !info.Committed {
+			return fmt.Errorf("recovered directory has no commit marker (cursor %d)", info.Cursor)
+		}
+		soc := socialstore.New(base.Clone())
+		for _, ed := range storm[:info.Cursor+1] {
+			soc.AddEdge(ed.From, ed.To)
+		}
+		mt := recoverEngineMaintainer(engine, soc, r, eps, seed, walks)
+		if err := mt.RestoreUpdateRNGState(info.State); err != nil {
+			return err
+		}
+		mt.ApplyEdges(storm[info.Cursor+1:])
+		res := crashResult{
+			Cursor:          info.Cursor,
+			Replayed:        info.Replayed,
+			Discarded:       info.Discarded,
+			TornBytes:       info.TornBytes,
+			RecoverySeconds: time.Since(t0).Seconds(),
+			Fingerprint:     storeFingerprint(walks),
+		}
+		if verr := walks.Validate(); verr != nil {
+			res.ValidateError = verr.Error()
+		} else {
+			res.ValidateClean = true
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		return writeFileAtomic(filepath.Join(dir, "crash_result.json"), append(buf, '\n'))
+	}
+	return fmt.Errorf("unknown crash phase %q", phase)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/pagerank"
+	"fastppr/internal/persist"
+	"fastppr/internal/socialstore"
+)
+
+// durabilityResult is one fsync-policy row of the durability sweep: the same
+// serialized maintainer storm with the WAL journaling every mutation and a
+// commit marker per edge, then a cold reopen timing recovery.
+type durabilityResult struct {
+	FsyncPolicy     string  `json:"fsync_policy"`
+	Edges           int     `json:"edges"`
+	StormSeconds    float64 `json:"storm_seconds"`
+	EdgesPerSec     float64 `json:"edges_per_sec"`
+	WALRecords      int64   `json:"wal_records"`
+	WALBytes        int64   `json:"wal_bytes"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	ReplayedRecords int     `json:"replayed_records"`
+}
+
+// parsePolicy maps a -wal policy token to a persist config (Dir filled by
+// the caller): "record", "batch:N", "interval:DUR", or "none".
+func parsePolicy(s string) (persist.Config, error) {
+	switch {
+	case s == "record":
+		return persist.Config{Policy: persist.SyncEveryRecord}, nil
+	case s == "none":
+		return persist.Config{Policy: persist.SyncNone}, nil
+	case strings.HasPrefix(s, "batch:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "batch:"))
+		if err != nil || n < 1 {
+			return persist.Config{}, fmt.Errorf("bad batch size in %q", s)
+		}
+		return persist.Config{Policy: persist.SyncEveryN, SyncEveryN: n}, nil
+	case strings.HasPrefix(s, "interval:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval:"))
+		if err != nil || d <= 0 {
+			return persist.Config{}, fmt.Errorf("bad interval in %q", s)
+		}
+		return persist.Config{Policy: persist.SyncInterval, SyncInterval: d}, nil
+	}
+	return persist.Config{}, fmt.Errorf("unknown WAL policy %q (want record, batch:N, interval:DUR, none, sweep, or off)", s)
+}
+
+// durabilityStormCap bounds the persisted storm: fsync-per-record rows are
+// orders of magnitude slower than in-memory ones, and a few thousand edges
+// already give stable per-edge figures.
+const durabilityStormCap = 5_000
+
+// benchDurability runs the policy sweep. Each policy gets its own directory
+// under root: bootstrap the pagerank maintainer over a persisted store,
+// checkpoint, storm serialized with one commit marker per edge, close, then
+// reopen cold to measure recovery.
+func benchDurability(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, root string, policies []string) ([]durabilityResult, error) {
+	if len(storm) > durabilityStormCap {
+		fmt.Printf("durability storm capped at %d of %d edges\n", durabilityStormCap, len(storm))
+		storm = storm[:durabilityStormCap]
+	}
+	var out []durabilityResult
+	for _, pol := range policies {
+		cfg, err := parsePolicy(pol)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Dir = filepath.Join(root, strings.ReplaceAll(pol, ":", "-"))
+		res, err := durabilityOne(base, storm, r, eps, seed, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", pol, err)
+		}
+		out = append(out, res)
+		fmt.Printf("durability %-10s %7.3fs (%.0f edges/s)   wal %d recs / %d B, snapshot %d B, recovery %.3fs (%d replayed)\n",
+			res.FsyncPolicy, res.StormSeconds, res.EdgesPerSec, res.WALRecords, res.WALBytes,
+			res.SnapshotBytes, res.RecoverySeconds, res.ReplayedRecords)
+	}
+	return out, nil
+}
+
+func durabilityOne(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, cfg persist.Config) (durabilityResult, error) {
+	res := durabilityResult{FsyncPolicy: cfg.PolicyString(), Edges: len(storm)}
+	pm, walks, _, err := persist.Open(cfg)
+	if err != nil {
+		return res, err
+	}
+	soc := socialstore.New(base.Clone())
+	mt := pagerank.NewWithStore(soc, pagerank.Config{Eps: eps, R: r, Workers: 1, Seed: seed}, walks)
+	mt.Bootstrap()
+	if err := pm.Checkpoint(); err != nil {
+		return res, err
+	}
+
+	t0 := time.Now()
+	for i, ed := range storm {
+		mt.ApplyEdge(ed)
+		if err := pm.Commit(int64(i), mt.UpdateRNGState()); err != nil {
+			return res, err
+		}
+		if i%128 == 0 {
+			bailIfInterrupted(pm)
+		}
+	}
+	el := time.Since(t0)
+	res.StormSeconds = el.Seconds()
+	if s := el.Seconds(); s > 0 {
+		res.EdgesPerSec = float64(len(storm)) / s
+	}
+	st := pm.Stats()
+	res.WALRecords, res.WALBytes = st.WALRecords, st.WALBytes
+	// Close flushes the WAL but does not checkpoint, so the reopen below
+	// still replays the whole storm's records — recovery_seconds measures
+	// snapshot load + full WAL replay + the checkpoint-on-open.
+	if err := pm.Close(); err != nil {
+		return res, err
+	}
+
+	t1 := time.Now()
+	pm2, _, info, err := persist.Open(persist.Config{Dir: cfg.Dir})
+	if err != nil {
+		return res, err
+	}
+	defer pm2.Close()
+	res.RecoverySeconds = time.Since(t1).Seconds()
+	res.ReplayedRecords = info.Replayed
+	res.SnapshotBytes = pm2.SnapshotBytes()
+	_ = os.RemoveAll(cfg.Dir) // artifacts served their purpose
+	return res, nil
+}

@@ -15,6 +15,13 @@
 // consuming arrivals — the read-mostly path that used to serialize against
 // updates.
 //
+// The durability sweep (-wal) replays a serialized pagerank storm with every
+// walk-store mutation journaled through internal/persist at each fsync
+// policy, commits a marker per edge, and times a cold recovery. The crash
+// harness (-crash) re-execs this binary as a child, kill -9s it mid-storm at
+// a seeded edge, recovers in a fresh child, and asserts the resumed estimates
+// are bitwise-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	go run ./cmd/benchwalk                    # full run: n=100k, d=10
@@ -22,6 +29,8 @@
 //	go run ./cmd/benchwalk -workers 1,4,8     # explicit build worker counts
 //	go run ./cmd/benchwalk -updateworkers 1,4 # maintainer storm worker counts
 //	go run ./cmd/benchwalk -maintstorm=false  # engine-only runs
+//	go run ./cmd/benchwalk -wal batch:64      # one durability policy, not the sweep
+//	go run ./cmd/benchwalk -crash -smoke      # kill -9 crash-recovery harness only
 package main
 
 import (
@@ -30,18 +39,22 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"fastppr/internal/engine"
 	"fastppr/internal/gen"
 	"fastppr/internal/graph"
 	"fastppr/internal/pagerank"
+	"fastppr/internal/persist"
 	"fastppr/internal/salsa"
 	"fastppr/internal/socialstore"
 	"fastppr/internal/walkstore"
@@ -157,6 +170,13 @@ type report struct {
 	// ConcurrentQueries is the queries-racing-arrivals profile (absent with
 	// -salsa=false or -queries 0).
 	ConcurrentQueries *concurrentQueryResult `json:"concurrent_queries,omitempty"`
+	// Durability is the fsync-policy sweep: the serialized pagerank storm
+	// with WAL journaling and one commit marker per edge, plus cold-recovery
+	// timing (absent with -wal off).
+	Durability []durabilityResult `json:"durability,omitempty"`
+	// Crash is the kill -9 crash-recovery harness report (only with -crash;
+	// a crash report carries no engine runs).
+	Crash *crashReport `json:"crash,omitempty"`
 }
 
 func main() {
@@ -177,6 +197,15 @@ func main() {
 		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 		verify   = flag.String("verify", "", "validate an existing report JSON (parses, non-zero throughputs) and exit")
 		gogc     = flag.Int("gogc", 300, "GOGC during the benchmark (walk stores churn arena garbage; recorded in the report)")
+		walpol   = flag.String("wal", "sweep", "durability sweep policy: sweep, off, record, batch:N, or interval:DUR")
+		snapdir  = flag.String("snapshot", "", "directory for WAL/snapshot artifacts (default: a temp dir, removed afterwards)")
+		crash    = flag.Bool("crash", false, "run only the kill -9 crash-recovery harness and write its report")
+
+		// Internal flags for the crash harness's re-exec protocol; not for
+		// direct use.
+		crashchild = flag.String("crashchild", "", "internal: run as a crash-harness child for this engine (pagerank or salsa)")
+		crashphase = flag.String("crashphase", "storm", "internal: crash-child phase (storm or resume)")
+		crashdir   = flag.String("crashdir", "", "internal: crash-child persistence directory")
 	)
 	flag.Parse()
 	if *verify != "" {
@@ -221,10 +250,59 @@ func main() {
 	if *gogc > 0 {
 		debug.SetGCPercent(*gogc)
 	}
+	if *walpol != "sweep" && *walpol != "off" {
+		if _, err := parsePolicy(*walpol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *crashchild != "" {
+		// Re-exec'd by runCrashHarness; no signal handling — the parent kills
+		// the storm phase with SIGKILL on purpose.
+		if err := runCrashChild(*crashchild, *crashphase, *crashdir, *n, *d, *r, *eps, *seed, *updates); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk crash child:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	watchSignals()
 
 	p := runtime.GOMAXPROCS(0)
 	counts := workerCounts(*workers, []int{1, p / 2, p})
 	ucounts := workerCounts(*uworkers, []int{1, max(4, p)})
+
+	if *crash {
+		root, cleanup := artifactRoot(*snapdir, "benchwalk-crash-")
+		defer cleanup()
+		cr, err := runCrashHarness(*n, *d, *r, *eps, *seed, *updates, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk:", err)
+			os.Exit(1)
+		}
+		rep := report{
+			Timestamp:    time.Now().UTC().Format(time.RFC3339),
+			GoVersion:    runtime.Version(),
+			GOMAXPROCS:   p,
+			NumCPU:       runtime.NumCPU(),
+			GOGC:         *gogc,
+			Nodes:        *n,
+			EdgesPerNode: *d,
+			R:            *r,
+			Eps:          *eps,
+			Seed:         *seed,
+			Crash:        cr,
+		}
+		writeReport(*out, rep)
+		for _, run := range cr.Runs {
+			if !run.ValidateClean || !run.EstimatesMatch {
+				fmt.Fprintf(os.Stderr, "benchwalk: crash run %s failed (validate_clean=%v estimates_match=%v)\n",
+					run.Engine, run.ValidateClean, run.EstimatesMatch)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	fmt.Printf("benchwalk: building preferential-attachment graph n=%d d=%d (GOMAXPROCS=%d, NumCPU=%d)\n",
 		*n, *d, p, runtime.NumCPU())
@@ -248,6 +326,7 @@ func main() {
 	}
 
 	for _, w := range counts {
+		bailIfInterrupted(nil)
 		res := benchOne(base, nodes, storm, *r, *eps, *seed, w)
 		rep.Runs = append(rep.Runs, res)
 		fmt.Printf("workers=%-3d build %7.3fs (%.2fM steps/s)   storm %7.3fs (%.0f edges/s, %d rerouted)\n",
@@ -264,6 +343,7 @@ func main() {
 
 	if *mstorm {
 		for _, uw := range ucounts {
+			bailIfInterrupted(nil)
 			res := benchMaintainer(base, storm, *r, *eps, *seed, uw)
 			rep.MaintainerStorms = append(rep.MaintainerStorms, res)
 			fmt.Printf("maintainer storm uw=%-2d %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d, noop %d)   store reads %d writes %d\n",
@@ -279,6 +359,7 @@ func main() {
 
 	if *dosalsa {
 		for i, uw := range ucounts {
+			bailIfInterrupted(nil)
 			profile := 0
 			if i == len(ucounts)-1 {
 				profile = *queries // query profile once, on the final store
@@ -317,19 +398,107 @@ func main() {
 		}
 	}
 
-	if *out != "" {
-		buf, err := json.MarshalIndent(rep, "", "  ")
+	if *walpol != "off" {
+		bailIfInterrupted(nil)
+		policies := []string{"record", "batch:64", "none"}
+		if *walpol != "sweep" {
+			policies = []string{*walpol}
+		}
+		root, cleanup := artifactRoot(*snapdir, "benchwalk-wal-")
+		dur, err := benchDurability(base, storm, *r, *eps, *seed, root, policies)
+		cleanup()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchwalk:", err)
 			os.Exit(1)
 		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*out, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchwalk:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *out)
+		rep.Durability = dur
 	}
+
+	writeReport(*out, rep)
+}
+
+// writeReport marshals and atomically writes the report (no-op when path is
+// empty), exiting loudly on failure.
+func writeReport(path string, rep report) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchwalk:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := writeFileAtomic(path, buf); err != nil {
+		fmt.Fprintln(os.Stderr, "benchwalk:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// writeFileAtomic writes data via a temp file + rename so an interrupt or
+// crash mid-write never leaves a truncated file under the final name.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// artifactRoot resolves where durability artifacts (WALs, snapshots) live: the
+// -snapshot directory when given (kept afterwards), else a temp dir with a
+// cleanup that removes it.
+func artifactRoot(flagDir, tmpPrefix string) (string, func()) {
+	if flagDir != "" {
+		return flagDir, func() {}
+	}
+	root, err := os.MkdirTemp("", tmpPrefix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchwalk:", err)
+		os.Exit(1)
+	}
+	return root, func() { os.RemoveAll(root) }
+}
+
+// interrupted flips when SIGINT/SIGTERM arrives; the benchmark loops poll it
+// at safe points instead of dying mid-write.
+var interrupted atomic.Bool
+
+func watchSignals() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-ch
+		fmt.Fprintf(os.Stderr, "benchwalk: caught %v, stopping at the next safe point (repeat to kill)\n", s)
+		interrupted.Store(true)
+		signal.Stop(ch) // a second signal gets default handling: immediate death
+	}()
+}
+
+// bailIfInterrupted exits with a non-zero status at a safe point once a
+// signal has arrived. When a live persistence manager is passed, it flushes a
+// final snapshot first so the artifact directory holds a clean resume point
+// rather than a mid-storm WAL.
+func bailIfInterrupted(pm *persist.Manager) {
+	if !interrupted.Load() {
+		return
+	}
+	if pm != nil {
+		if err := pm.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk: final checkpoint:", err)
+		} else if err := pm.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchwalk: final close:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "benchwalk: flushed final snapshot")
+		}
+	}
+	fmt.Fprintln(os.Stderr, "benchwalk: interrupted, no report written")
+	os.Exit(130)
 }
 
 // verifyReport loads a previously written report and checks it is sane: it
@@ -346,7 +515,27 @@ func verifyReport(path string) error {
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return fmt.Errorf("%s does not parse as a benchwalk report: %w", path, err)
 	}
+	if rep.Crash != nil {
+		if len(rep.Crash.Runs) == 0 {
+			return fmt.Errorf("%s has a crash section with no runs", path)
+		}
+		for _, c := range rep.Crash.Runs {
+			if !c.ValidateClean {
+				return fmt.Errorf("%s: crash run %s recovered into an invalid store", path, c.Engine)
+			}
+			if !c.EstimatesMatch {
+				return fmt.Errorf("%s: crash run %s resumed to estimates that differ from the uninterrupted run", path, c.Engine)
+			}
+			if c.KillAtEdge < 0 || c.RecoveredCursor >= int64(c.StormEdges) {
+				return fmt.Errorf("%s: crash run %s has incoherent kill/cursor positions (%d, %d of %d)",
+					path, c.Engine, c.KillAtEdge, c.RecoveredCursor, c.StormEdges)
+			}
+		}
+	}
 	if len(rep.Runs) == 0 {
+		if rep.Crash != nil {
+			return nil // crash-only report: no engine runs by design
+		}
 		return fmt.Errorf("%s has no engine runs", path)
 	}
 	if rep.Nodes < 2 || rep.GraphEdges <= 0 {
@@ -372,6 +561,15 @@ func verifyReport(path string) error {
 		}
 		if s.SlowNoops != 0 {
 			return fmt.Errorf("%s: salsa storm at uw=%d broke the SlowNoops == 0 invariant (%d)", path, s.UpdateWorkers, s.SlowNoops)
+		}
+	}
+	for _, dr := range rep.Durability {
+		if dr.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: durability row %s has non-positive throughput", path, dr.FsyncPolicy)
+		}
+		if dr.RecoverySeconds <= 0 || dr.ReplayedRecords <= 0 {
+			return fmt.Errorf("%s: durability row %s recorded no recovery work (%.3fs, %d replayed)",
+				path, dr.FsyncPolicy, dr.RecoverySeconds, dr.ReplayedRecords)
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package gen
 
 import (
 	"math/rand/v2"
+	"reflect"
 	"slices"
 	"testing"
 
@@ -154,5 +155,24 @@ func TestSplitStreamBounds(t *testing.T) {
 	pre, suf = SplitStream(stream, 2)
 	if len(pre) != 4 || len(suf) != 0 {
 		t.Fatalf("split 2: %d/%d want 4/0", len(pre), len(suf))
+	}
+}
+
+func TestHotSpotStreamFixedSeed(t *testing.T) {
+	a := HotSpotStream(40, 200, rand.New(rand.NewPCG(5, 0)))
+	b := HotSpotStream(40, 200, rand.New(rand.NewPCG(5, 0)))
+	if len(a) != 200 || !reflect.DeepEqual(a, b) {
+		t.Fatal("HotSpotStream is not deterministic under a fixed seed")
+	}
+	for i, ed := range a {
+		if ed.From != 0 && ed.To != 0 {
+			t.Fatalf("edge %d (%v) misses the hub", i, ed)
+		}
+		if ed.From == ed.To {
+			t.Fatalf("edge %d is a self-loop", i)
+		}
+		if onHub := ed.To == 0; onHub != (i%2 == 0) {
+			t.Fatalf("edge %d breaks the in/out alternation", i)
+		}
 	}
 }

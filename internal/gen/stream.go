@@ -88,3 +88,26 @@ func BuildFromStream(stream []graph.Edge) *graph.Graph {
 	}
 	return g
 }
+
+// HotSpotStream generates m edge arrivals that all touch one hub (node 0),
+// alternating u -> hub and hub -> v with u, v uniform over the other nodes.
+// Every arrival lands on the same pending-position neighborhood, which is
+// the worst case for the incremental repair path — and for the WAL behind
+// it, since each repair re-journals segments through the hub. The crash
+// harness uses it to maximize mutation density around the kill point.
+func HotSpotStream(n, m int, rng *rand.Rand) []graph.Edge {
+	if n < 2 {
+		panic("gen: HotSpotStream needs n >= 2")
+	}
+	const hub = graph.NodeID(0)
+	edges := make([]graph.Edge, 0, m)
+	for t := 0; t < m; t++ {
+		other := graph.NodeID(1 + rng.IntN(n-1))
+		if t%2 == 0 {
+			edges = append(edges, graph.Edge{From: other, To: hub})
+		} else {
+			edges = append(edges, graph.Edge{From: hub, To: other})
+		}
+	}
+	return edges
+}

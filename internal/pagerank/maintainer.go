@@ -145,8 +145,9 @@ type Maintainer struct {
 	eng   *engine.Engine
 	cfg   Config
 
-	mu     sync.Mutex // serializes ApplyEdge and the serialized ApplyEdges path
-	serial *updater   // guarded by mu
+	mu        sync.Mutex // serializes ApplyEdge and the serialized ApplyEdges path
+	serial    *updater   // guarded by mu
+	serialPCG *rand.PCG  // source behind serial's RNG, retained for state capture
 
 	knownMu sync.Mutex
 	known   map[graph.NodeID]bool // nodes owning R segments
@@ -160,23 +161,69 @@ type Maintainer struct {
 // store. Call Bootstrap once to seed R segments per existing node before
 // streaming edges.
 func New(soc *socialstore.Store, cfg Config) *Maintainer {
+	return NewWithStore(soc, cfg, walkstore.New())
+}
+
+// NewWithStore is New over a caller-supplied walk store — typically one
+// recovered by internal/persist, so the maintainer journals into (and
+// resumes from) durable state. The store must have been populated by a
+// maintainer with the same Config, or be empty.
+func NewWithStore(soc *socialstore.Store, cfg Config, walks *walkstore.Store) *Maintainer {
 	if cfg.R <= 0 {
 		cfg.R = 1
 	}
-	walks := walkstore.New()
 	eng := engine.New(soc.Graph(), walks, engine.Config{
 		Eps: cfg.Eps, R: cfg.R, Workers: cfg.Workers, Seed: cfg.Seed,
 	})
+	pcg := rand.NewPCG(cfg.Seed, 0x9a6e)
 	return &Maintainer{
-		soc:    soc,
-		walks:  walks,
-		eng:    eng,
-		cfg:    cfg,
-		serial: newUpdater(rand.New(rand.NewPCG(cfg.Seed, 0x9a6e))),
-		known:  make(map[graph.NodeID]bool),
-		srcMu:  stripes.NewMutexSet(sourceStripes),
-		segMu:  stripes.NewMutexSet(segmentStripes),
+		soc:       soc,
+		walks:     walks,
+		eng:       eng,
+		cfg:       cfg,
+		serial:    newUpdater(rand.New(pcg)),
+		serialPCG: pcg,
+		known:     make(map[graph.NodeID]bool),
+		srcMu:     stripes.NewMutexSet(sourceStripes),
+		segMu:     stripes.NewMutexSet(segmentStripes),
 	}
+}
+
+// Recover returns a maintainer resuming over a recovered walk store: every
+// node already in the graph is marked known (they owned their R segments
+// when the store was persisted), so no Bootstrap runs and no arrival re-seeds
+// them. Restore the update RNG with RestoreUpdateRNGState before applying
+// edges to continue the persisted run bitwise.
+func Recover(soc *socialstore.Store, cfg Config, walks *walkstore.Store) *Maintainer {
+	m := NewWithStore(soc, cfg, walks)
+	m.knownMu.Lock()
+	for _, v := range soc.Graph().Nodes() {
+		m.known[v] = true
+	}
+	m.knownMu.Unlock()
+	return m
+}
+
+// UpdateRNGState serializes the serialized-path update RNG. Persisted in a
+// commit marker alongside the edge cursor, it is the missing half of an
+// exact resume: the walk store fixes the segments, this fixes the coin
+// flips the next repair will draw.
+func (m *Maintainer) UpdateRNGState() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, err := m.serialPCG.MarshalBinary()
+	if err != nil { // the PCG marshaler cannot fail
+		panic(err)
+	}
+	return b
+}
+
+// RestoreUpdateRNGState rewinds the serialized-path update RNG to a state
+// captured by UpdateRNGState.
+func (m *Maintainer) RestoreUpdateRNGState(b []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.serialPCG.UnmarshalBinary(b)
 }
 
 // Store returns the maintainer's walk store (the paper's PageRank Store).

@@ -1,0 +1,27 @@
+// Package persist makes a walk store durable: a write-ahead log journals
+// every segment mutation as it happens, and epoch-stamped snapshots roll the
+// log up so recovery time stays bounded. See docs/DESIGN.md#8-durability--recovery.
+//
+// The WAL hangs off the store's MutationLog hook, so it sees the same
+// serialized mutation order the store's epoch counts; each record carries
+// that epoch as its sequence number, which is what lets recovery stitch a
+// snapshot (stamped with the epoch it was dumped at) to the log suffix past
+// it. Records are length-prefixed and CRC-framed: a crash mid-append leaves
+// a torn tail that recovery truncates, while a damaged record in front of
+// intact data fails loudly with ErrCorrupt — the log is never silently
+// skipped over. Snapshots are written to a temp file and renamed into place,
+// so a crashed checkpoint never leaves a partial file under a snapshot name.
+//
+// Commit markers make recovery transactional for deterministic appliers: the
+// application journals a cursor plus an opaque state blob (the maintainers
+// put their serialized update-RNG there), and Open discards any mutations
+// after the last durable marker, handing back the cursor and state so the
+// caller redoes exactly the uncommitted work — bitwise identical to a run
+// that never crashed, under any fsync policy.
+//
+// Fsync cadence is configurable (every record, every N, on a timer, or
+// never); the fault-injection plan in this package scripts short writes,
+// flipped bytes, and ENOSPC against the same File seam the real files go
+// through, and the crash harness in cmd/benchwalk kill -9s a live storm and
+// checks recovery end to end.
+package persist

@@ -1,0 +1,88 @@
+package persist
+
+import (
+	"sync"
+	"syscall"
+)
+
+// FaultPlan scripts write failures for durability tests. Wrap the files a
+// Config.OpenFile hook returns with WrapFile and the wrapper counts bytes
+// across all writes, then misbehaves at the scripted point. The zero value
+// (with FailAfter 0 meaning "immediately") fails the first write with
+// ENOSPC; set FailAfter to let a prefix through first.
+type FaultPlan struct {
+	mu      sync.Mutex
+	written int64
+
+	// FailAfter is how many bytes to let through before the fault fires.
+	FailAfter int64
+	// Err is the error writes return once the fault fires (default ENOSPC).
+	Err error
+	// ShortWrite, when set, makes the faulting write persist the bytes that
+	// fit under FailAfter and report success before failing the NEXT write —
+	// a torn frame, the way a full disk or a crash mid-write() leaves one.
+	ShortWrite bool
+	// FlipByte, when >= 0, flips the low bit of the byte at that global
+	// offset instead of failing: silent media corruption. Writes all succeed.
+	FlipByte int64
+}
+
+// NewFaultPlan returns a plan that fails with ENOSPC after n bytes.
+func NewFaultPlan(n int64) *FaultPlan {
+	return &FaultPlan{FailAfter: n, FlipByte: -1}
+}
+
+// WrapFile interposes the plan on one file. Several files may share a plan;
+// the byte budget is global across them (like a filesystem running out of
+// space is).
+func (p *FaultPlan) WrapFile(f File) File { return &faultFile{f: f, p: p} }
+
+type faultFile struct {
+	f File
+	p *FaultPlan
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) {
+	p := ff.p
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	failErr := p.Err
+	if failErr == nil {
+		failErr = syscall.ENOSPC
+	}
+	if p.FlipByte >= 0 {
+		if off := p.FlipByte - p.written; off >= 0 && off < int64(len(b)) {
+			mutated := append([]byte(nil), b...)
+			mutated[off] ^= 1
+			b = mutated
+		}
+		n, err := ff.f.Write(b)
+		p.written += int64(n)
+		return n, err
+	}
+	remain := p.FailAfter - p.written
+	if remain <= 0 {
+		return 0, failErr
+	}
+	if int64(len(b)) > remain {
+		if !p.ShortWrite {
+			return 0, failErr
+		}
+		n, err := ff.f.Write(b[:remain])
+		p.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+		// The syscall contract allows a short write; report it as success
+		// for the bytes that landed and fail the next attempt.
+		p.FailAfter = p.written
+		p.ShortWrite = false
+		return n, nil
+	}
+	n, err := ff.f.Write(b)
+	p.written += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Sync() error  { return ff.f.Sync() }
+func (ff *faultFile) Close() error { return ff.f.Close() }

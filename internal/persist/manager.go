@@ -1,0 +1,395 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+// ErrCorrupt marks durable state that recovery refuses to load: a WAL record
+// damaged in front of intact data, or a snapshot that fails its checksum or
+// parse. Test with errors.Is. Torn WAL tails are NOT corruption — they are
+// the expected artifact of a crash mid-write and are truncated silently.
+var ErrCorrupt = errors.New("persist: corrupt durable state")
+
+// File is the write-side file surface the WAL and snapshot writers need;
+// *os.File satisfies it, and the fault-injection wrapper in fault.go
+// implements it over scripted failures.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Config parameterizes a durable store directory.
+type Config struct {
+	// Dir holds the WAL (wal.log) and snapshots (snap-*.wsnap). Created if
+	// missing.
+	Dir string
+	// Policy selects the WAL fsync cadence; see the SyncPolicy constants.
+	Policy SyncPolicy
+	// SyncEveryN is the record cadence under SyncEveryN (default 64).
+	SyncEveryN int
+	// SyncInterval is the timer cadence under SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// OpenFile optionally intercepts creation of the WAL and snapshot files
+	// so tests can inject write faults (see WrapFile); nil uses the OS.
+	OpenFile func(path string, flag int, perm os.FileMode) (File, error)
+}
+
+func (c Config) openFile(path string, flag int, perm os.FileMode) (File, error) {
+	if c.OpenFile != nil {
+		return c.OpenFile(path, flag, perm)
+	}
+	return os.OpenFile(path, flag, perm)
+}
+
+// PolicyString renders the effective fsync policy for reports.
+func (c Config) PolicyString() string {
+	switch c.Policy {
+	case SyncEveryN:
+		n := c.SyncEveryN
+		if n <= 0 {
+			n = 64
+		}
+		return fmt.Sprintf("batch:%d", n)
+	case SyncInterval:
+		iv := c.SyncInterval
+		if iv <= 0 {
+			iv = 100 * time.Millisecond
+		}
+		return fmt.Sprintf("interval:%s", iv)
+	}
+	return c.Policy.String()
+}
+
+// RecoveryInfo reports what Open found and did.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the epoch of the snapshot recovery started from
+	// (0 when the directory held none).
+	SnapshotEpoch int64
+	// Replayed counts WAL mutation records applied on top of the snapshot.
+	Replayed int
+	// Discarded counts valid mutation records dropped because they sit
+	// after the last commit marker: an uncommitted suffix whose work the
+	// application will redo deterministically from Cursor.
+	Discarded int
+	// TornBytes is the length of the truncated torn WAL tail, if any.
+	TornBytes int64
+	// Committed reports whether any commit marker has ever been durable in
+	// this directory (in the WAL or embedded in the snapshot). Cursor and
+	// State are the last such marker's payload; Cursor -1 with Committed true
+	// means the application committed before doing any work. Cursor is also
+	// -1 when Committed is false, but then State is meaningless.
+	Committed bool
+	Cursor    int64
+	State     []byte
+	// Elapsed is the wall-clock recovery time (load + replay + the fresh
+	// checkpoint Open finishes with).
+	Elapsed time.Duration
+}
+
+// Manager owns one durable store directory: it journals every mutation of
+// its walkstore into the WAL and rolls the log into epoch-stamped snapshots
+// on Checkpoint. One Manager per directory; the store must only be mutated
+// by callers that obtained it from Open (journaling is attached to the store
+// via its MutationLog hook).
+type Manager struct {
+	cfg   Config
+	store *walkstore.Store
+
+	mu sync.Mutex // serializes Commit/Checkpoint/Close against each other
+	w  *wal
+	// Latest commit marker, re-embedded into every snapshot so a checkpoint's
+	// WAL truncation cannot lose the transactional resume point. everCommitted
+	// distinguishes "committed with cursor -1" from "never committed".
+	everCommitted bool
+	lastCursor    int64
+	lastState     []byte
+}
+
+// walLogger adapts the WAL to the walkstore.MutationLog hook. Calls arrive
+// inside the store's segment-lock critical section; each bumps the logger's
+// seq mirror of the store epoch and appends one record. Append errors are
+// sticky in the WAL (the hook cannot return them); callers poll Manager.Err.
+type walLogger struct{ w *wal }
+
+func (l walLogger) LogAdd(id walkstore.SegmentID, side walkstore.Side, path []graph.NodeID) {
+	l.w.appendRec(Rec{Seq: l.w.nextSeq(), Kind: recAdd, ID: id, Side: side, Path: path})
+}
+
+func (l walLogger) LogReplaceTail(id walkstore.SegmentID, keep int, tail []graph.NodeID) {
+	l.w.appendRec(Rec{Seq: l.w.nextSeq(), Kind: recReplaceTail, ID: id, Keep: keep, Path: tail})
+}
+
+func (l walLogger) LogRemove(id walkstore.SegmentID) {
+	l.w.appendRec(Rec{Seq: l.w.nextSeq(), Kind: recRemove, ID: id})
+}
+
+// nextSeq returns the seq for the mutation record about to be appended. The
+// hook calls are serialized by the store's segment lock, so the unsynchron-
+// ized read of w.seq (updated under w.mu in appendRec) cannot race another
+// mutation record; commit markers never change seq.
+func (w *wal) nextSeq() int64 { return w.seq + 1 }
+
+// Open recovers the directory's durable state and returns a live manager
+// over the recovered store: it loads the newest snapshot (a corrupt one
+// fails loudly — the temp-file+rename protocol guarantees the newest named
+// snapshot was completely written, so damage is never shrugged off by
+// falling back to an older one), replays WAL records past the snapshot's
+// epoch, truncating a torn tail and — when the log carries commit markers —
+// discarding the uncommitted suffix, then finishes with a fresh checkpoint
+// so the WAL restarts empty and bounds the next recovery. An empty or
+// missing directory yields an empty store.
+func Open(cfg Config) (*Manager, *walkstore.Store, RecoveryInfo, error) {
+	t0 := time.Now()
+	info := RecoveryInfo{Cursor: -1}
+	if cfg.Dir == "" {
+		return nil, nil, info, errors.New("persist: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, info, err
+	}
+
+	var store *walkstore.Store
+	if path, epoch, ok, err := newestSnapshot(cfg.Dir); err != nil {
+		return nil, nil, info, err
+	} else if ok {
+		d, snapHasCommit, snapCursor, snapState, err := loadSnapshot(path)
+		if err != nil {
+			return nil, nil, info, err
+		}
+		if d.Epoch != epoch {
+			return nil, nil, info, fmt.Errorf("%w: %s: file named for epoch %d but stamped %d", ErrCorrupt, path, epoch, d.Epoch)
+		}
+		store, err = walkstore.Restore(d)
+		if err != nil {
+			return nil, nil, info, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		info.SnapshotEpoch = epoch
+		info.Committed, info.Cursor, info.State = snapHasCommit, snapCursor, snapState
+	} else {
+		store = walkstore.New()
+	}
+
+	walPath := filepath.Join(cfg.Dir, "wal.log")
+	recs, tornBytes, err := readWAL(walPath)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	info.TornBytes = tornBytes
+
+	// Transactional cut: once the application has ever committed (a marker
+	// in the WAL, or one embedded in the snapshot), mutations after the last
+	// marker belong to work it never learned was durable; replaying them
+	// would double-apply that work when it is redone from Cursor. With no
+	// commit anywhere the caller is using plain persistence and every valid
+	// record counts.
+	cut := len(recs)
+	marker := -1
+	for i, r := range recs {
+		if r.Kind == recCommit {
+			info.Committed, info.Cursor, info.State = true, r.Cursor, r.State
+			marker = i
+		}
+	}
+	if marker >= 0 {
+		cut = marker
+	} else if info.Committed {
+		cut = 0 // snapshot-embedded marker, none since: the whole WAL is uncommitted
+	}
+	if err := replay(store, recs[:cut], info.SnapshotEpoch); err != nil {
+		return nil, nil, info, err
+	}
+	for i, r := range recs {
+		if r.Kind == recCommit {
+			continue
+		}
+		if i >= cut {
+			info.Discarded++
+		} else if r.Seq > info.SnapshotEpoch {
+			info.Replayed++
+		}
+	}
+
+	m := &Manager{cfg: cfg, store: store, everCommitted: info.Committed, lastCursor: info.Cursor, lastState: info.State}
+	if err := m.checkpointLocked(); err != nil {
+		return nil, nil, info, err
+	}
+	info.Elapsed = time.Since(t0)
+	return m, store, info, nil
+}
+
+// replay applies the committed mutation records with seq > snapEpoch to the
+// store, asserting that every record lands exactly where the live run put it
+// (same assigned ID, same epoch). The store API panics on impossible
+// requests (unknown segment, keep out of range); replay converts those to
+// ErrCorrupt instead of crashing recovery.
+func replay(store *walkstore.Store, recs []Rec, snapEpoch int64) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: wal replay: %v", ErrCorrupt, p)
+		}
+	}()
+	for _, r := range recs {
+		if r.Kind == recCommit || r.Seq <= snapEpoch {
+			continue
+		}
+		switch r.Kind {
+		case recAdd:
+			ids := store.AddBatchSided([][]graph.NodeID{r.Path}, r.Side)
+			if ids[0] != r.ID {
+				return fmt.Errorf("%w: wal replay assigned segment %d to a record logged as %d", ErrCorrupt, ids[0], r.ID)
+			}
+		case recReplaceTail:
+			store.ReplaceTail(r.ID, r.Keep, r.Path)
+		case recRemove:
+			store.Remove(r.ID)
+		}
+		if got := store.Epoch(); got != r.Seq {
+			return fmt.Errorf("%w: wal replay reached epoch %d, record logged seq %d", ErrCorrupt, got, r.Seq)
+		}
+	}
+	return nil
+}
+
+// Store returns the managed walk store.
+func (m *Manager) Store() *walkstore.Store { return m.store }
+
+// Err returns the WAL's sticky write error, if any. Once set, journaling has
+// stopped: the in-memory store keeps working, but the durable state is
+// frozen at the error point and a Checkpoint onto healthy storage is the way
+// back to durability.
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return nil
+	}
+	m.w.mu.Lock()
+	defer m.w.mu.Unlock()
+	return m.w.err
+}
+
+// Stats reports the live WAL's size.
+type Stats struct {
+	WALRecords int64
+	WALBytes   int64
+	Epoch      int64
+}
+
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return Stats{}
+	}
+	m.w.mu.Lock()
+	defer m.w.mu.Unlock()
+	return Stats{WALRecords: m.w.records, WALBytes: m.w.bytes, Epoch: m.w.seq}
+}
+
+// Commit appends a commit marker — cursor plus an opaque state blob (say, a
+// serialized RNG) — and syncs it per the configured policy. After recovery
+// the last durable marker's payload comes back in RecoveryInfo, and every
+// mutation after it has been discarded, so resuming work at cursor+1 with
+// the restored state replays history bitwise.
+func (m *Manager) Commit(cursor int64, state []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return errors.New("persist: Commit on closed manager")
+	}
+	m.everCommitted = true
+	m.lastCursor = cursor
+	m.lastState = append([]byte(nil), state...)
+	// Seq is stamped inside appendRec under the WAL lock (the epoch of the
+	// last mutation the marker covers).
+	return m.w.appendRec(Rec{Kind: recCommit, Cursor: cursor, State: state})
+}
+
+// Checkpoint rolls the WAL into a fresh snapshot: dump the store (fails with
+// walkstore.ErrConcurrentMutation unless quiescent — checkpoint from the
+// same thread as mutations, or pause them), write the snapshot durably,
+// truncate the WAL, drop older snapshots. Crash-safe at every step: before
+// the rename recovery uses the old snapshot + full WAL; between rename and
+// truncation it uses the new snapshot and skips the old records by epoch;
+// after truncation the old snapshot is garbage.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpointLocked()
+}
+
+func (m *Manager) checkpointLocked() error {
+	d, err := m.store.Dump()
+	if err != nil {
+		return err
+	}
+	if m.w != nil {
+		// The dump ran at quiescence, so no mutation record can be in flight
+		// between it and here; a seq mismatch means a mutator raced the
+		// checkpoint after all, and proceeding would truncate its records.
+		m.w.mu.Lock()
+		seq := m.w.seq
+		m.w.mu.Unlock()
+		if seq != d.Epoch {
+			return fmt.Errorf("persist: checkpoint raced a mutation (wal at seq %d, store at epoch %d)", seq, d.Epoch)
+		}
+	}
+	if _, err := writeSnapshot(m.cfg, m.cfg.Dir, d, m.everCommitted, m.lastCursor, m.lastState); err != nil {
+		return err
+	}
+	// Swap in a truncated WAL. Detach the logger first so a (misbehaving)
+	// concurrent mutator cannot write into the closing file.
+	m.store.SetMutationLog(nil)
+	if m.w != nil {
+		if err := m.w.close(); err != nil {
+			return err
+		}
+		m.w = nil
+	}
+	w, err := openWAL(m.cfg, filepath.Join(m.cfg.Dir, "wal.log"), d.Epoch)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	m.store.SetMutationLog(walLogger{w: w})
+	removeOldSnapshots(m.cfg.Dir, d.Epoch)
+	return nil
+}
+
+// SnapshotBytes returns the size of the newest snapshot on disk (0 if none),
+// for reports.
+func (m *Manager) SnapshotBytes() int64 {
+	path, _, ok, err := newestSnapshot(m.cfg.Dir)
+	if err != nil || !ok {
+		return 0
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Close detaches journaling, flushes and fsyncs the WAL, and closes it. The
+// store stays usable in memory; its subsequent mutations are no longer
+// journaled.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store.SetMutationLog(nil)
+	if m.w == nil {
+		return nil
+	}
+	err := m.w.close()
+	m.w = nil
+	return err
+}

@@ -1,0 +1,499 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+// applyOps replays the shared mutation script, ops[0:upTo], against a store.
+// Each op is one epoch tick, so a store after applyOps(s, k) sits at epoch k.
+func applyOps(t *testing.T, s *walkstore.Store, upTo int) {
+	t.Helper()
+	var ids []walkstore.SegmentID
+	step := func(i int) {
+		switch i {
+		case 0:
+			ids = append(ids, s.AddSided([]graph.NodeID{1, 2, 3}, walkstore.SideForward))
+		case 1:
+			ids = append(ids, s.AddSided([]graph.NodeID{2, 3}, walkstore.SideBackward))
+		case 2:
+			ids = append(ids, s.Add([]graph.NodeID{5}))
+		case 3:
+			s.ReplaceTail(ids[0], 1, []graph.NodeID{7, 8})
+		case 4:
+			s.Remove(ids[1])
+		case 5:
+			ids = append(ids, s.AddSided([]graph.NodeID{3, 1}, walkstore.SideForward))
+		default:
+			t.Fatalf("no op %d in the script", i)
+		}
+	}
+	for i := 0; i < upTo; i++ {
+		step(i)
+	}
+	if got := s.Epoch(); got != int64(upTo) {
+		t.Fatalf("script reached epoch %d, want %d", got, upTo)
+	}
+}
+
+const scriptLen = 6
+
+// reference builds an unpersisted store holding ops[0:upTo].
+func reference(t *testing.T, upTo int) *walkstore.Store {
+	t.Helper()
+	s := walkstore.New()
+	applyOps(t, s, upTo)
+	return s
+}
+
+func equalStores(t *testing.T, got, want *walkstore.Store) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("recovered store fails Validate: %v", err)
+	}
+	if g, w := got.Epoch(), want.Epoch(); g != w {
+		t.Errorf("epoch = %d, want %d", g, w)
+	}
+	if g, w := got.TotalVisits(), want.TotalVisits(); g != w {
+		t.Errorf("total visits = %d, want %d", g, w)
+	}
+	if g, w := got.NumSegments(), want.NumSegments(); g != w {
+		t.Errorf("live segments = %d, want %d", g, w)
+	}
+	if g, w := got.VisitCounts(), want.VisitCounts(); !reflect.DeepEqual(g, w) {
+		t.Errorf("visit counts = %v, want %v", g, w)
+	}
+	for _, v := range []graph.NodeID{1, 2, 3, 5, 7, 8} {
+		if g, w := got.OwnedBy(v), want.OwnedBy(v); !reflect.DeepEqual(g, w) {
+			t.Errorf("OwnedBy(%d) = %v, want %v", v, g, w)
+		}
+		for _, dir := range []walkstore.Side{walkstore.SideForward, walkstore.SideBackward} {
+			if g, w := got.PendingPositions(v, dir), want.PendingPositions(v, dir); !reflect.DeepEqual(g, w) {
+				t.Errorf("PendingPositions(%d, %d) = %v, want %v", v, dir, g, w)
+			}
+		}
+	}
+	// Dead slots count too: the next assigned ID must match bitwise, or the
+	// pending-position enumeration the maintainers sample over would shift.
+	if g, w := got.Add([]graph.NodeID{9}), want.Add([]graph.NodeID{9}); g != w {
+		t.Errorf("next segment ID after recovery = %d, want %d", g, w)
+	}
+}
+
+func mustOpen(t *testing.T, cfg Config) (*Manager, *walkstore.Store, RecoveryInfo) {
+	t.Helper()
+	m, s, info, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", cfg.Dir, err)
+	}
+	return m, s, info
+}
+
+func TestCloseReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir})
+	applyOps(t, s, scriptLen)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	m2, s2, info := mustOpen(t, Config{Dir: dir})
+	defer m2.Close()
+	// Close fsynced the full WAL, so nothing is torn and nothing replays
+	// twice.
+	if info.TornBytes != 0 || info.Discarded != 0 {
+		t.Errorf("clean reopen reports torn=%d discarded=%d", info.TornBytes, info.Discarded)
+	}
+	equalStores(t, s2, reference(t, scriptLen))
+}
+
+func TestAbandonedWALRecovers(t *testing.T) {
+	// A kill -9 keeps whatever the WAL pushed to the OS; SyncEveryRecord
+	// pushes everything, so abandoning the manager without Close loses
+	// nothing.
+	dir := t.TempDir()
+	_, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, scriptLen)
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	if info.Replayed != scriptLen {
+		t.Errorf("replayed %d records, want %d", info.Replayed, scriptLen)
+	}
+	equalStores(t, s2, reference(t, scriptLen))
+}
+
+// wipeManagers drops the extra segment equalStores adds, by copying a dir
+// into a fresh one so each torn-tail variant starts from the same bytes.
+func cloneDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// frameOffsets parses the WAL framing and returns each frame's start offset.
+func frameOffsets(t *testing.T, buf []byte) []int {
+	t.Helper()
+	var offs []int
+	off := 0
+	for off < len(buf) {
+		offs = append(offs, off)
+		plen := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+		off += 8 + plen
+	}
+	if off != len(buf) {
+		t.Fatalf("WAL does not parse into whole frames (ended at %d of %d)", off, len(buf))
+	}
+	return offs
+}
+
+// seedDir builds a directory whose WAL holds the full script, then abandons
+// it (no Close), returning the dir and the WAL bytes.
+func seedDir(t *testing.T) (string, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	_, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, scriptLen)
+	buf, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, buf
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir, buf := seedDir(t)
+	offs := frameOffsets(t, buf)
+	last := offs[len(offs)-1]
+	for _, cut := range []int{last + 3, last + 8 + 5} { // mid-header, mid-payload
+		d := cloneDir(t, dir)
+		if err := os.WriteFile(filepath.Join(d, "wal.log"), buf[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, s, info := mustOpen(t, Config{Dir: d})
+		if info.Replayed != scriptLen-1 {
+			t.Errorf("cut at %d: replayed %d, want %d", cut, info.Replayed, scriptLen-1)
+		}
+		if want := int64(cut - last); info.TornBytes != want {
+			t.Errorf("cut at %d: torn bytes %d, want %d", cut, info.TornBytes, want)
+		}
+		equalStores(t, s, reference(t, scriptLen-1))
+		m.Close()
+	}
+}
+
+func TestZeroFillTailTruncated(t *testing.T) {
+	// A crash after the filesystem extended the file but before the data hit
+	// it leaves trailing zeros; they must read as a torn tail, not as frames
+	// (crc32("") == 0 would otherwise validate an empty frame) and not as
+	// corruption.
+	dir, buf := seedDir(t)
+	d := cloneDir(t, dir)
+	if err := os.WriteFile(filepath.Join(d, "wal.log"), append(buf, make([]byte, 64)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, s, info := mustOpen(t, Config{Dir: d})
+	defer m.Close()
+	if info.Replayed != scriptLen || info.TornBytes != 64 {
+		t.Errorf("replayed=%d torn=%d, want %d and 64", info.Replayed, info.TornBytes, scriptLen)
+	}
+	equalStores(t, s, reference(t, scriptLen))
+}
+
+func TestMidFileCorruptionIsLoud(t *testing.T) {
+	dir, buf := seedDir(t)
+	offs := frameOffsets(t, buf)
+	d := cloneDir(t, dir)
+	mut := append([]byte(nil), buf...)
+	mut[offs[0]+8+2] ^= 0xFF // payload byte of the first frame; later frames intact
+	if err := os.WriteFile(filepath.Join(d, "wal.log"), mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := Open(Config{Dir: d})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-file damage = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptSnapshotIsLoud(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir})
+	applyOps(t, s, scriptLen)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Roll the WAL into a snapshot so the snapshot is the only state.
+	m, _, _ = mustOpen(t, Config{Dir: dir})
+	m.Close()
+	path, _, ok, err := newestSnapshot(dir)
+	if err != nil || !ok {
+		t.Fatalf("no snapshot after checkpoint: %v", err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := append([]byte(nil), buf...)
+	flip[len(flip)/2] ^= 1
+	if err := os.WriteFile(path, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(Config{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over flipped snapshot byte = %v, want ErrCorrupt", err)
+	}
+
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(Config{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over truncated snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFaultPlanFlipByteCorruptsSnapshot(t *testing.T) {
+	// Flip one bit while the snapshot is being written: the checkpoint
+	// succeeds (the fault is silent), and the next Open must refuse the file.
+	dir := t.TempDir()
+	plan := &FaultPlan{FlipByte: 20}
+	cfg := Config{Dir: dir, OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+		f, err := os.OpenFile(path, flag, perm)
+		if err != nil {
+			return nil, err
+		}
+		if strings.Contains(path, snapSuffix) {
+			return plan.WrapFile(f), nil
+		}
+		return f, nil
+	}}
+	m, _, _ := mustOpen(t, cfg)
+	m.Close()
+	if _, _, _, err := Open(Config{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over bit-flipped snapshot = %v, want ErrCorrupt", err)
+	}
+}
+
+func walFaultConfig(dir string, plan *FaultPlan) Config {
+	return Config{Dir: dir, Policy: SyncEveryRecord,
+		OpenFile: func(path string, flag int, perm os.FileMode) (File, error) {
+			f, err := os.OpenFile(path, flag, perm)
+			if err != nil {
+				return nil, err
+			}
+			if filepath.Base(path) == "wal.log" {
+				return plan.WrapFile(f), nil
+			}
+			return f, nil
+		}}
+}
+
+func TestENOSPCStopsJournalingLoudly(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewFaultPlan(64) // first record (54B frame) fits, second does not
+	m, s, _ := mustOpen(t, walFaultConfig(dir, plan))
+	applyOps(t, s, scriptLen)
+	if err := m.Err(); err == nil {
+		t.Fatal("WAL writes past the fault budget reported no error")
+	} else if !errors.Is(err, os.ErrInvalid) && !strings.Contains(err.Error(), "no space") {
+		t.Logf("sticky error (any loud error is acceptable): %v", err)
+	}
+	// The in-memory store is unharmed.
+	if err := s.Validate(); err != nil {
+		t.Fatalf("store fails Validate after WAL fault: %v", err)
+	}
+	m.Close()
+
+	// Recovery picks up exactly the prefix that reached the file.
+	m2, s2, info := mustOpen(t, Config{Dir: dir})
+	defer m2.Close()
+	if info.Replayed != 1 {
+		t.Errorf("replayed %d records, want the 1 that fit", info.Replayed)
+	}
+	equalStores(t, s2, reference(t, 1))
+}
+
+func TestShortWriteLeavesTruncatableTorn(t *testing.T) {
+	dir := t.TempDir()
+	plan := &FaultPlan{FailAfter: 60, ShortWrite: true, FlipByte: -1}
+	m, s, _ := mustOpen(t, walFaultConfig(dir, plan))
+	applyOps(t, s, scriptLen)
+	if m.Err() == nil {
+		t.Fatal("short write reported no error")
+	}
+	m.Close()
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir})
+	defer m2.Close()
+	if info.Replayed != 1 || info.TornBytes == 0 {
+		t.Errorf("replayed=%d torn=%d, want 1 replayed and a torn tail", info.Replayed, info.TornBytes)
+	}
+	equalStores(t, s2, reference(t, 1))
+}
+
+func TestCommitMarkerDiscardsUncommittedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	state := []byte{0xAB, 0xCD, 0x01}
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 3)
+	if err := m.Commit(2, state); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	applyOps2 := func() { // ops 3..5 on top, uncommitted
+		s.ReplaceTail(walkstore.SegmentID(0), 1, []graph.NodeID{7, 8})
+		s.Remove(walkstore.SegmentID(1))
+		s.AddSided([]graph.NodeID{3, 1}, walkstore.SideForward)
+	}
+	applyOps2()
+	// Abandon without Close: the marker at cursor 2 is the last durable word.
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	if info.Cursor != 2 || !bytes.Equal(info.State, state) {
+		t.Errorf("recovered cursor=%d state=%x, want 2 and %x", info.Cursor, info.State, state)
+	}
+	if info.Replayed != 3 || info.Discarded != 3 {
+		t.Errorf("replayed=%d discarded=%d, want 3 and 3", info.Replayed, info.Discarded)
+	}
+	equalStores(t, s2, reference(t, 3))
+}
+
+func TestCommitBeforeAnyWorkMakesRunTransactional(t *testing.T) {
+	// Commit(-1, state) before doing anything declares transactional intent:
+	// if the process dies before its first real commit becomes durable, the
+	// mutations in the WAL are an uncommitted suffix and must be discarded —
+	// NOT replayed as plain persistence would — or the application's redo
+	// from cursor -1 (i.e. from the start) would double-apply them.
+	dir := t.TempDir()
+	state := []byte{0x42}
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	if err := m.Commit(-1, state); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := m.Checkpoint(); err != nil { // marker survives only via the snapshot
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	applyOps(t, s, 4)
+	// Abandon without Close or further Commit.
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	if !info.Committed || info.Cursor != -1 || !bytes.Equal(info.State, state) {
+		t.Errorf("recovered committed=%v cursor=%d state=%x, want true, -1, %x",
+			info.Committed, info.Cursor, info.State, state)
+	}
+	if info.Replayed != 0 || info.Discarded != 4 {
+		t.Errorf("replayed=%d discarded=%d, want 0 and 4", info.Replayed, info.Discarded)
+	}
+	equalStores(t, s2, reference(t, 0))
+}
+
+func TestReplaySkipsRecordsCoveredBySnapshot(t *testing.T) {
+	// The crash window between a checkpoint's snapshot rename and its WAL
+	// truncation leaves a snapshot at epoch E alongside a WAL whose records
+	// start below E; replay must skip those by sequence number.
+	dir, _ := seedDir(t) // WAL holds seq 1..6
+	ref3 := reference(t, 3)
+	d, err := ref3.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeSnapshot(Config{}, dir, d, false, -1, nil); err != nil { // snapshot at epoch 3
+		t.Fatal(err)
+	}
+	m, s, info := mustOpen(t, Config{Dir: dir})
+	defer m.Close()
+	if info.SnapshotEpoch != 3 || info.Replayed != 3 {
+		t.Errorf("snapshotEpoch=%d replayed=%d, want 3 and 3", info.SnapshotEpoch, info.Replayed)
+	}
+	equalStores(t, s, reference(t, scriptLen))
+}
+
+func TestCheckpointBoundsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 3)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := m.Stats()
+	if st.WALRecords != 0 {
+		t.Errorf("WAL holds %d records after checkpoint, want 0", st.WALRecords)
+	}
+	s.AddSided([]graph.NodeID{3, 1}, walkstore.SideForward)
+	if st := m.Stats(); st.WALRecords != 1 {
+		t.Errorf("WAL holds %d records after post-checkpoint add, want 1", st.WALRecords)
+	}
+	m.Close()
+	m2, s2, info := mustOpen(t, Config{Dir: dir})
+	defer m2.Close()
+	if info.SnapshotEpoch != 3 || info.Replayed != 1 {
+		t.Errorf("snapshotEpoch=%d replayed=%d, want 3 and 1", info.SnapshotEpoch, info.Replayed)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g, w := s2.Epoch(), int64(4); g != w {
+		t.Errorf("epoch = %d, want %d", g, w)
+	}
+}
+
+func TestDumpRequiresQuiescenceDoc(t *testing.T) {
+	// Checkpoint surfaces walkstore.ErrConcurrentMutation from Dump; the
+	// quiescent path must NOT trip it.
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir})
+	defer m.Close()
+	applyOps(t, s, scriptLen)
+	if err := m.Checkpoint(); err != nil {
+		t.Fatalf("quiescent Checkpoint: %v", err)
+	}
+}
+
+func TestCheckpointPreservesCommitCursor(t *testing.T) {
+	// A checkpoint truncates the WAL — including its commit markers. The
+	// latest marker is re-embedded in the snapshot, so a crash in the window
+	// before the next Commit still recovers the right cursor and discards
+	// the uncommitted mutations that followed the checkpoint.
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 3)
+	if err := m.Commit(2, []byte{0x07}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.AddSided([]graph.NodeID{3, 1}, walkstore.SideForward) // uncommitted
+	// Crash: abandon without Close.
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir})
+	defer m2.Close()
+	if info.Cursor != 2 || !bytes.Equal(info.State, []byte{0x07}) {
+		t.Errorf("cursor=%d state=%x, want 2 and 07", info.Cursor, info.State)
+	}
+	if info.Discarded != 1 {
+		t.Errorf("discarded %d records, want the 1 uncommitted add", info.Discarded)
+	}
+	equalStores(t, s2, reference(t, 3))
+}

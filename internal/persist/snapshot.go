@@ -1,0 +1,239 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fastppr/internal/walkstore"
+)
+
+// Snapshot file layout (little-endian):
+//
+//	magic "FPSNAP1\n"
+//	epoch i64 | totalVisits i64 | sidedTotals[2] i64
+//	hasCommit u8 | cursor i64 | stateLen u32 | state bytes
+//	numSegs u64
+//	per segment slot: u8 live; live slots add i8 side, u32 n, n × u64 nodes
+//	crc32 u32 over everything before it
+//
+// hasCommit/cursor/state embed the latest commit marker at checkpoint time
+// (hasCommit 0 when the application never committed), so truncating the WAL
+// at a checkpoint cannot lose the transactional resume point: recovery reads
+// it from the snapshot and lets any later WAL marker override it. hasCommit
+// is a separate flag because cursor -1 is itself a legal committed value
+// ("nothing done yet"), distinct from never having committed at all.
+//
+// Files are named snap-<epoch 16-hex-digits>.wsnap and written via temp file
+// + rename + directory fsync, so a crashed checkpoint is never visible under
+// a snapshot name: the newest snap-* file is always a fully written one.
+const (
+	snapMagic  = "FPSNAP1\n"
+	snapSuffix = ".wsnap"
+	snapPrefix = "snap-"
+)
+
+func snapName(epoch int64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, uint64(epoch), snapSuffix)
+}
+
+// snapEpoch parses the epoch out of a snapshot file name, reporting ok=false
+// for names that are not snapshots (temp files, strangers).
+func snapEpoch(name string) (int64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return int64(e), true
+}
+
+// writeSnapshot persists a store dump into dir, durably: temp file, fsync,
+// rename to the final epoch-stamped name, fsync the directory. On any error
+// the temp file is removed and no snap-* name ever points at partial data.
+func writeSnapshot(cfg Config, dir string, d *walkstore.Dump, hasCommit bool, cursor int64, state []byte) (bytes int64, err error) {
+	final := filepath.Join(dir, snapName(d.Epoch))
+	tmp := final + ".tmp"
+	f, err := cfg.openFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	buf := encodeSnapshot(d, hasCommit, cursor, state)
+	if _, err = f.Write(buf); err != nil {
+		return 0, fmt.Errorf("persist: snapshot write: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return 0, fmt.Errorf("persist: snapshot fsync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return 0, fmt.Errorf("persist: snapshot close: %w", err)
+	}
+	if err = os.Rename(tmp, final); err != nil {
+		return 0, fmt.Errorf("persist: snapshot rename: %w", err)
+	}
+	if err = syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(len(buf)), nil
+}
+
+func encodeSnapshot(d *walkstore.Dump, hasCommit bool, cursor int64, state []byte) []byte {
+	size := len(snapMagic) + 5*8 + 1 + 4 + len(state) + 8 + 4
+	for _, sd := range d.Segs {
+		size++
+		if sd.Live {
+			size += 1 + 4 + 8*len(sd.Path)
+		}
+	}
+	b := make([]byte, 0, size)
+	b = append(b, snapMagic...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.Epoch))
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.TotalVisits))
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.SidedTotals[0]))
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.SidedTotals[1]))
+	if hasCommit {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(cursor))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(state)))
+	b = append(b, state...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(d.Segs)))
+	for _, sd := range d.Segs {
+		if !sd.Live {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1, byte(int8(sd.Side)))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(sd.Path)))
+		for _, v := range sd.Path {
+			b = binary.LittleEndian.AppendUint64(b, uint64(v))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// loadSnapshot reads and verifies one snapshot file. Every failure — short
+// file, bad magic, CRC mismatch, malformed segment table — is ErrCorrupt:
+// the newest snapshot name is by construction a completed write, so damage
+// here is real and must stop recovery loudly rather than silently serving a
+// partial store.
+func loadSnapshot(path string) (d *walkstore.Dump, hasCommit bool, cursor int64, state []byte, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, -1, nil, err
+	}
+	if len(buf) < len(snapMagic)+6*8+1+4+4 || string(buf[:len(snapMagic)]) != snapMagic {
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: not a snapshot file", ErrCorrupt, path)
+	}
+	body, crcb := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcb) {
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	rd := byteReader{b: body, off: len(snapMagic)}
+	d = &walkstore.Dump{
+		Epoch:       int64(rd.u64()),
+		TotalVisits: int64(rd.u64()),
+	}
+	d.SidedTotals[0] = int64(rd.u64())
+	d.SidedTotals[1] = int64(rd.u64())
+	switch flag := rd.u8(); flag {
+	case 0:
+	case 1:
+		hasCommit = true
+	default:
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: invalid commit flag %d", ErrCorrupt, path, flag)
+	}
+	cursor = int64(rd.u64())
+	state = append([]byte(nil), rd.bytes(int(rd.u32()))...)
+	numSegs := rd.u64()
+	if numSegs > uint64(len(body)) { // each slot costs at least one byte
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: segment count %d exceeds file size", ErrCorrupt, path, numSegs)
+	}
+	d.Segs = make([]walkstore.SegmentDump, numSegs)
+	for i := range d.Segs {
+		switch live := rd.u8(); live {
+		case 0:
+		case 1:
+			side := walkstore.Side(int8(rd.u8()))
+			d.Segs[i] = walkstore.SegmentDump{Live: true, Side: side, Path: rd.nodes(rd.u32())}
+		default:
+			return nil, false, -1, nil, fmt.Errorf("%w: %s: segment %d has invalid live flag %d", ErrCorrupt, path, i, live)
+		}
+	}
+	if rd.err != nil {
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, rd.err)
+	}
+	if rd.off != len(body) {
+		return nil, false, -1, nil, fmt.Errorf("%w: %s: %d trailing bytes after segment table", ErrCorrupt, path, len(body)-rd.off)
+	}
+	return d, hasCommit, cursor, state, nil
+}
+
+// newestSnapshot returns the path and epoch of the highest-epoch snapshot in
+// dir, or ok=false when none exists.
+func newestSnapshot(dir string) (path string, epoch int64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if _, isSnap := snapEpoch(e.Name()); isSnap {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", 0, false, nil
+	}
+	sort.Strings(names) // epoch is fixed-width hex, so name order is epoch order
+	best := names[len(names)-1]
+	epoch, _ = snapEpoch(best)
+	return filepath.Join(dir, best), epoch, true, nil
+}
+
+// removeOldSnapshots deletes every snapshot in dir with an epoch below keep.
+// Best-effort: a stale snapshot is wasted disk, not a correctness problem
+// (recovery always picks the newest), so errors are ignored.
+func removeOldSnapshots(dir string, keep int64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if epoch, isSnap := snapEpoch(e.Name()); isSnap && epoch < keep {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	if err := df.Sync(); err != nil {
+		return fmt.Errorf("persist: dir fsync: %w", err)
+	}
+	return nil
+}

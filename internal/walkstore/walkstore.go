@@ -54,6 +54,30 @@ func mustDir(d Side) {
 // fire concurrently for different nodes.
 type Observer func(seg SegmentID, node graph.NodeID, pos int, delta int)
 
+// MutationLog receives every segment mutation as a serialized feed — the
+// segment-level sibling of the per-visit Observer, shaped for write-ahead
+// logging. Each method is invoked inside the mutation's segMu critical
+// section, so calls are totally ordered and that order is a valid
+// linearization of the store's mutation history: replaying the calls against
+// an empty store (or a store restored to the epoch the log started at)
+// reproduces the live store's segment table bitwise, dead slots and ID
+// assignment included. Path and tail slices are arena-resident and stable;
+// the log may retain them. Implementations must not call back into the store
+// and must not block on anything that itself mutates the store (the calls
+// run under the segment lock). See docs/DESIGN.md#8-durability--recovery.
+type MutationLog interface {
+	// LogAdd records a stored segment: AddBatchSided emits one call per path,
+	// in ID order. The store's epoch after the mutation completes is the
+	// number of LogAdd/LogReplaceTail/LogRemove calls issued so far.
+	LogAdd(id SegmentID, side Side, path []graph.NodeID)
+	// LogReplaceTail records a tail replacement (keep >= 1 prefix nodes, then
+	// tail). No-op replacements (keep == length, empty tail) are not logged,
+	// matching their absent epoch bump.
+	LogReplaceTail(id SegmentID, keep int, tail []graph.NodeID)
+	// LogRemove records a segment removal. The ID is never reused.
+	LogRemove(id SegmentID)
+}
+
 // segRef addresses one segment's path inside the arena.
 type segRef struct {
 	off  int64
@@ -227,12 +251,13 @@ var ErrConcurrentMutation = errors.New("walkstore: concurrent mutation during Va
 // numStripes lock stripes by node, so per-node reads and updates of
 // unrelated nodes do not contend.
 type Store struct {
-	segMu     sync.RWMutex // guards arena, segs, numLive, liveNodes, observer
+	segMu     sync.RWMutex // guards arena, segs, numLive, liveNodes, observer, mlog
 	arena     []graph.NodeID
 	segs      []segRef // indexed by SegmentID
 	numLive   int
 	liveNodes int64 // arena slots referenced by live segments
 	observer  Observer
+	mlog      MutationLog
 
 	// Global counter mirrors, updated once per completed mutation (the
 	// per-stripe shares stay lock-exact). Individually exact at quiescent
@@ -298,6 +323,18 @@ func (s *Store) SetObserver(o Observer) {
 	s.observer = o
 }
 
+// SetMutationLog installs (or, with nil, detaches) the segment-mutation log.
+// Unlike SetObserver it is legal on a store holding live segments — the
+// durability layer attaches a WAL to a store restored from a snapshot — but
+// the caller must guarantee no mutation is in flight (the recovery path is
+// single-threaded; a running system quiesces first), or the log would miss
+// the straddling mutation.
+func (s *Store) SetMutationLog(l MutationLog) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	s.mlog = l
+}
+
 // Add stores a new unsided segment owned by its first node and returns its
 // ID. The path must be non-empty. The path is copied; the caller keeps
 // ownership of its slice.
@@ -337,6 +374,9 @@ func (s *Store) AddBatchSided(paths [][]graph.NodeID, side Side) []SegmentID {
 	s.mutators.Add(1)
 	for i, p := range paths {
 		ids[i], stored[i] = s.appendSegmentLocked(p, side)
+		if s.mlog != nil {
+			s.mlog.LogAdd(ids[i], side, stored[i])
+		}
 	}
 	s.segMu.Unlock()
 	s.indexBatch(ids, stored, side)
@@ -918,6 +958,10 @@ func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []
 	n := keep + len(newTail)
 	s.segs[id] = segRef{off: off, n: int32(n), side: r.side, live: true}
 	s.liveNodes += int64(n) - int64(r.n)
+	if s.mlog != nil {
+		end := off + int64(n)
+		s.mlog.LogReplaceTail(id, keep, s.arena[off+int64(keep):end:end])
+	}
 	return old, r, false
 }
 
@@ -970,6 +1014,9 @@ func (s *Store) retire(id SegmentID) ([]graph.NodeID, segRef) {
 	s.segs[id].live = false
 	s.numLive--
 	s.liveNodes -= int64(r.n)
+	if s.mlog != nil {
+		s.mlog.LogRemove(id)
+	}
 	return p, r
 }
 
