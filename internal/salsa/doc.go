@@ -76,4 +76,15 @@
 // and the Theorem8Bound ceiling
 // (docs/DESIGN.md#4-the-theorem-8-accounting-model) are asserted even under
 // a live parallel storm.
+//
+// Each query draws its RNG from a PCG stream derived by QueryStream from
+// the process-local query counter and the store's mutation epoch — so
+// streams never repeat across a crash/Recover boundary (the counter alone
+// would replay pre-crash sequences) — and PersonalizedStream replays any
+// recorded stream bitwise against an unchanged store. QueryStats also
+// records the query's read footprint over the store's counter stripes
+// (StripeMask), the invalidation key the internal/serve result cache is
+// built on (docs/DESIGN.md#9-the-serving-tier); SetArrivalObserver is the
+// hook that tier uses to see arrivals whose repair never touched the walk
+// store.
 package salsa

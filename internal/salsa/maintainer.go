@@ -200,7 +200,21 @@ type Maintainer struct {
 	endMu *stripes.MutexSet
 	segMu *stripes.MutexSet
 	cnt   counters
+
+	// arrivalObs, when set, is called after each arrival's repair completes
+	// (edge written, both repair phases done, endpoints seeded). Under
+	// UpdateWorkers > 1 it is called concurrently from every worker; the
+	// observer must be safe for that. See SetArrivalObserver.
+	arrivalObs func(graph.Edge)
 }
+
+// SetArrivalObserver registers f to run after every arrival finishes its
+// repair. The serving tier uses it to advance its per-stripe edge revisions:
+// a graph change can alter query results without any walk-store mutation
+// (both repair phases may fast-skip), so walk-store epochs alone cannot
+// invalidate cached results. Set it before the first ApplyEdge; under
+// UpdateWorkers > 1 the observer runs concurrently from every worker.
+func (m *Maintainer) SetArrivalObserver(f func(graph.Edge)) { m.arrivalObs = f }
 
 // New returns a maintainer over the social store's graph with an empty walk
 // store. Call Bootstrap once to seed 2R segments per existing node before
@@ -419,6 +433,12 @@ func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
 	// edge, so repairing them too would over-weight it.
 	m.ensureNode(u, w)
 	m.ensureNode(v, w)
+	// Bump-after ordering: the observer fires only once every store and
+	// graph effect of the arrival is visible, so a cache entry validated
+	// after the bump cannot have missed this arrival.
+	if m.arrivalObs != nil {
+		m.arrivalObs(ed)
+	}
 }
 
 // freeze prepares one repair phase's candidate enumeration at node n for

@@ -36,6 +36,20 @@ type QueryStats struct {
 	// expected length 2(1-eps)/eps in store calls. Stitching typically lands
 	// far below it; see Theorem8Bound.
 	Theorem8Bound float64
+	// Stream is the PCG stream index this query's RNG ran on: the replayable
+	// half of the query's identity. Re-running the query with
+	// PersonalizedStream(Source, Stream) against an unchanged store
+	// reproduces the result bitwise — the serving tier's cache-correctness
+	// tests are built on this.
+	Stream uint64
+	// StripeMask is the query's read footprint over the walk store's counter
+	// stripes: bit i is set iff the query read any per-node state (stored
+	// segment lists, spliced paths) or Social Store adjacency of a node in
+	// stripe i. The result can only change if a mutation lands in a masked
+	// stripe, so the mask is the cache invalidation key: compare the masked
+	// stripes' StripeEpoch stamps (and the serving tier's per-stripe edge
+	// revisions) before reusing a cached result.
+	StripeMask uint64
 	// StartEpoch and EndEpoch bracket the query against the walk store's
 	// mutation epoch: EndEpoch - StartEpoch is how many segment mutations
 	// landed while the query ran. Equal under a quiet store; under a live
@@ -136,9 +150,43 @@ type sideKey struct {
 // reproducible given its index even though queries interleave freely.
 func (m *Maintainer) Personalized(source graph.NodeID) *Query {
 	qi := m.cnt.queries.Add(1)
-	rng := rand.New(rand.NewPCG(m.cfg.Seed, 0xbe57a0000+uint64(qi)))
-	return m.personalized(source, rng)
+	return m.PersonalizedStream(source, QueryStream(uint64(qi), m.walks.Epoch()))
 }
+
+// PersonalizedStream is Personalized on an explicit PCG stream index instead
+// of the auto-assigned QueryStream. Two calls with the same stream against an
+// unchanged store are bitwise identical — this is the replay entry point the
+// serving tier and the cache-correctness tests use to recompute a cached
+// result for comparison.
+func (m *Maintainer) PersonalizedStream(source graph.NodeID, stream uint64) *Query {
+	rng := rand.New(rand.NewPCG(m.cfg.Seed, stream))
+	q := m.personalized(source, rng)
+	q.stats.Stream = stream
+	return q
+}
+
+// QueryStream derives the PCG stream index for the qi-th query issued while
+// the walk store's mutation epoch was epoch. Salting with the epoch fixes the
+// post-recovery replay bug: the query counter is process-lifetime, so after a
+// crash and Recover it restarts at 0 and counter-only streams would replay
+// the pre-crash RNG sequences verbatim. A recovered store has advanced its
+// epoch past the original process's early queries' stamps, so the streams
+// diverge; two runs repeat a stream only at an identical (counter, epoch)
+// pair — identical store state — where determinism is exactly what is wanted.
+// The mix is a splitmix64 finalizer (a bijection, so it adds no collisions of
+// its own).
+func QueryStream(qi uint64, epoch int64) uint64 {
+	z := qi + 0x9e3779b97f4a7c15*uint64(epoch+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// The stripe mask is a uint64 bitmap; this fails to compile if the walk
+// store ever grows past 64 counter stripes.
+const _ uint64 = 1 << (walkstore.StripeCount - 1)
 
 // PersonalizedTopK returns the k best personalized authorities for source —
 // the paper's "top-k personalized page ranks" served online from the
@@ -163,6 +211,7 @@ func (m *Maintainer) personalized(source graph.NodeID, rng *rand.Rand) *Query {
 	q.stats.Source = source
 	q.stats.Walks = nWalks
 	q.stats.StartEpoch = m.walks.Epoch()
+	q.stats.StripeMask = 1 << uint(walkstore.StripeOf(source))
 
 	sess := m.soc.NewSession()
 	stored := len(m.walks.OwnedSided(source, walkstore.SideForward))
@@ -178,6 +227,10 @@ func (m *Maintainer) personalized(source graph.NodeID, rng *rand.Rand) *Query {
 		q.hub[source]++
 		q.hubTotal++
 		for {
+			// Every node whose state this iteration may read — its stored
+			// segment list, or its adjacency through a bare step — lands in
+			// the read footprint. Spliced path nodes are added below.
+			q.stats.StripeMask |= 1 << uint(walkstore.StripeOf(cur))
 			k := sideKey{cur, walkstore.Side(dir)}
 			seg, ok := ids[k]
 			if !ok {
@@ -192,6 +245,7 @@ func (m *Maintainer) personalized(source graph.NodeID, rng *rand.Rand) *Query {
 				used[k] = n + 1
 				p := m.walks.Path(seg[n])
 				for i := 1; i < len(p); i++ {
+					q.stats.StripeMask |= 1 << uint(walkstore.StripeOf(p[i]))
 					if walkstore.Side(dir).PendingAt(i) == walkstore.SideBackward {
 						q.auth[p[i]]++
 						q.authTotal++

@@ -1,0 +1,169 @@
+package salsa
+
+import (
+	"reflect"
+	"testing"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+// sameResult compares the parts of two queries that are a function of (store
+// state, source, RNG stream): the visit distributions and the cost
+// accounting. Epoch stamps are deliberately excluded — they record when the
+// query ran, not what it computed.
+func sameResult(a, b *Query) bool {
+	return reflect.DeepEqual(a.auth, b.auth) &&
+		reflect.DeepEqual(a.hub, b.hub) &&
+		a.authTotal == b.authTotal && a.hubTotal == b.hubTotal &&
+		a.stats.Steps == b.stats.Steps &&
+		a.stats.StitchedSegments == b.stats.StitchedSegments &&
+		a.stats.StitchedSteps == b.stats.StitchedSteps &&
+		a.stats.BareSteps == b.stats.BareSteps &&
+		a.stats.StoreCalls == b.stats.StoreCalls &&
+		a.stats.Stream == b.stats.Stream &&
+		a.stats.StripeMask == b.stats.StripeMask
+}
+
+// TestQueryStreamDistinct pins the stream derivation: same (counter, epoch)
+// pair maps to the same stream, and moving either coordinate moves the
+// stream. The old counter-only seeding failed the epoch axis — a recovered
+// process replayed pre-crash streams verbatim.
+func TestQueryStreamDistinct(t *testing.T) {
+	seen := map[uint64][2]int{}
+	for qi := 0; qi < 50; qi++ {
+		for ep := 0; ep < 50; ep++ {
+			s := QueryStream(uint64(qi), int64(ep))
+			if s != QueryStream(uint64(qi), int64(ep)) {
+				t.Fatal("QueryStream is not deterministic")
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("stream collision: (%d,%d) and (%d,%d) both map to %#x", qi, ep, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int{qi, ep}
+		}
+	}
+}
+
+// TestPersonalizedStreamReplay pins the replay contract: against an
+// unchanged store, PersonalizedStream with the same stream is bitwise
+// identical, and the auto-assigned streams of consecutive queries differ (so
+// independent queries do not share RNG sequences).
+func TestPersonalizedStreamReplay(t *testing.T) {
+	g := graph.New(0)
+	for i := int64(0); i < 10; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%10))
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+3)%10))
+	}
+	mt, _ := newMaintainer(g, Config{Eps: 0.2, R: 4, Workers: 1, Seed: 11, QueryWalks: 64})
+	mt.Bootstrap()
+
+	q1 := mt.Personalized(3)
+	q2 := mt.Personalized(3)
+	if q1.Stats().Stream == q2.Stats().Stream {
+		t.Fatalf("consecutive queries share stream %#x", q1.Stats().Stream)
+	}
+	if want := QueryStream(1, q1.Stats().StartEpoch); q1.Stats().Stream != want {
+		t.Fatalf("first query stream %#x, want QueryStream(1, epoch) = %#x", q1.Stats().Stream, want)
+	}
+	re := mt.PersonalizedStream(3, q1.Stats().Stream)
+	if !sameResult(q1, re) {
+		t.Fatalf("replay on stream %#x diverged from the original", q1.Stats().Stream)
+	}
+}
+
+// TestRecoveredQueriesDoNotReplayStreams pins the post-recovery RNG bugfix:
+// the query counter is process-lifetime, so after Recover it restarts at 1
+// and counter-only stream seeding would hand the first post-crash query the
+// exact RNG sequence of the first pre-crash query. Salting with the store
+// epoch breaks the reuse — the store has moved since the original counter=1
+// query ran.
+func TestRecoveredQueriesDoNotReplayStreams(t *testing.T) {
+	g := graph.New(0)
+	for i := int64(0); i < 20; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%20))
+	}
+	cfg := Config{Eps: 0.2, R: 4, Workers: 1, Seed: 17, QueryWalks: 64}
+	mt, soc := newMaintainer(g, cfg)
+	mt.Bootstrap()
+	first := mt.Personalized(5)
+
+	// The store moves (a storm of chord arrivals), then the process "crashes"
+	// and a fresh maintainer recovers over the surviving walk store.
+	for i := int64(0); i < 20; i++ {
+		mt.ApplyEdge(graph.Edge{From: graph.NodeID(i), To: graph.NodeID((i + 7) % 20)})
+	}
+	rec := Recover(soc, cfg, mt.Store())
+	again := rec.Personalized(5)
+
+	if first.Stats().Stream == again.Stats().Stream {
+		t.Fatalf("post-recovery query replayed pre-crash stream %#x", first.Stats().Stream)
+	}
+	if want := QueryStream(1, again.Stats().StartEpoch); again.Stats().Stream != want {
+		t.Fatalf("recovered stream %#x, want QueryStream(1, recovered epoch) = %#x", again.Stats().Stream, want)
+	}
+	// Determinism survives the salt: replaying the recovered query's stream
+	// against the recovered store is still bitwise.
+	if !sameResult(again, rec.PersonalizedStream(5, again.Stats().Stream)) {
+		t.Fatal("recovered query replay diverged")
+	}
+}
+
+// TestStripeMaskUnaffectedByDisjointStorm pins the mask's soundness as a
+// cache key: a query whose walks live entirely in component A must carry a
+// mask disjoint from component B's stripes, a storm confined to B must not
+// move any masked stripe epoch, and the replayed query after the storm must
+// be bitwise identical. This is exactly the serving tier's "unrelated storm
+// keeps the cache warm" property.
+func TestStripeMaskUnaffectedByDisjointStorm(t *testing.T) {
+	// Component A: nodes 0..9 (stripes 0..9). Component B: nodes 80..89
+	// (stripes 16..25, disjoint from A under the low-bit striping).
+	g := graph.New(0)
+	for i := int64(0); i < 10; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%10))
+		g.AddEdge(graph.NodeID(80+i), graph.NodeID(80+(i+1)%10))
+	}
+	mt, _ := newMaintainer(g, Config{Eps: 0.2, R: 4, Workers: 1, Seed: 29, QueryWalks: 128})
+	mt.Bootstrap()
+
+	var maskB uint64
+	for i := int64(0); i < 10; i++ {
+		maskB |= 1 << uint(walkstore.StripeOf(graph.NodeID(80+i)))
+	}
+
+	const stream = 0xfeed
+	q1 := mt.PersonalizedStream(3, stream)
+	mask := q1.Stats().StripeMask
+	if mask == 0 {
+		t.Fatal("query recorded an empty stripe mask")
+	}
+	if mask&maskB != 0 {
+		t.Fatalf("component-A query mask %#x overlaps component-B stripes %#x", mask, maskB)
+	}
+
+	before := mt.Store().AppendStripeEpochs(nil)
+	for i := int64(0); i < 10; i++ {
+		mt.ApplyEdge(graph.Edge{From: graph.NodeID(80 + i), To: graph.NodeID(80 + (i+4)%10)})
+	}
+	after := mt.Store().AppendStripeEpochs(nil)
+
+	moved := false
+	for i := range after {
+		if after[i] == before[i] {
+			continue
+		}
+		moved = true
+		if mask&(1<<uint(i)) != 0 {
+			t.Fatalf("B-storm moved masked stripe %d", i)
+		}
+	}
+	if !moved {
+		t.Fatal("storm moved no stripe epochs — test is vacuous")
+	}
+	if !sameResult(q1, mt.PersonalizedStream(3, stream)) {
+		t.Fatal("disjoint storm changed the replayed query result")
+	}
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

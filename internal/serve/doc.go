@@ -1,0 +1,21 @@
+// Package serve is the query-serving tier in front of the personalized
+// SALSA maintainer: an epoch-keyed result cache, same-source singleflight
+// batching (one store snapshot and one call-accounted store session per
+// concurrent burst), and streaming top-K so callers can early-terminate.
+//
+// A cached result is keyed on the query's read footprint — the
+// QueryStats.StripeMask bitmap over the walk store's counter stripes — and
+// stays valid while every masked stripe holds both its per-stripe
+// walk-store epoch (walkstore.StripeEpoch) and the tier's per-stripe edge
+// revision, bumped by the maintainer's arrival observer. The two stamps
+// together cover every way a result can change: walk-store mutations and
+// graph arrivals whose repair fast-skipped the store. A hit costs zero
+// Social Store calls, so the paper's Theorem 8 ceiling bounds every served
+// query: misses by the query layer's own session accounting, hits
+// trivially.
+//
+// See docs/DESIGN.md#9-the-serving-tier for the invalidation-key soundness
+// argument, the ordering of the stamps against the lock order of
+// docs/DESIGN.md#6-concurrency-model, and the snapshot semantics of
+// serving while a storm runs.
+package serve

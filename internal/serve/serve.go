@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/salsa"
+	"fastppr/internal/topk"
+	"fastppr/internal/walkstore"
+)
+
+// Config tunes the serving tier.
+type Config struct {
+	// MaxEntries caps the result cache; 0 means 4096. When full, the least
+	// recently used entry is evicted on insert.
+	MaxEntries int
+}
+
+func (c Config) maxEntries() int {
+	if c.MaxEntries <= 0 {
+		return 4096
+	}
+	return c.MaxEntries
+}
+
+// Result is the outcome of one served personalized query.
+type Result struct {
+	// Query is the personalized result being served. On a hit it is the
+	// cached query object — still valid for its masked stripes at lookup
+	// time, and bitwise what PersonalizedStream(Source, Stream) recomputes
+	// against the unchanged store.
+	Query *salsa.Query
+	// Hit reports whether the result came out of the cache.
+	Hit bool
+	// Coalesced reports whether this call piggybacked on a concurrent
+	// identical-source compute (sharing its store snapshot and store
+	// session) instead of running its own.
+	Coalesced bool
+	// StoreCalls is what THIS serve call cost the Social Store: the
+	// underlying query's measured calls when this call ran the compute,
+	// and exactly 0 on a hit or a coalesced ride-along — the whole point
+	// of the tier. The Theorem 8 ceiling therefore bounds every served
+	// result: misses by the query layer's own accounting, hits trivially.
+	StoreCalls int64
+	// Stream is the PCG stream the result was computed on; feed it to
+	// Maintainer.PersonalizedStream to recompute the identical result.
+	Stream uint64
+}
+
+// Stats is a snapshot of the tier's serving counters.
+type Stats struct {
+	Hits        int64 // lookups served from a valid cached entry
+	Misses      int64 // lookups that ran the query (singleflight leaders)
+	Coalesced   int64 // lookups that shared a concurrent leader's compute
+	Raced       int64 // computes not cached because a mutation landed mid-query
+	Invalidated int64 // cached entries dropped after an epoch/rev mismatch
+	Evicted     int64 // cached entries dropped by the LRU cap
+	Entries     int   // live cache entries
+}
+
+// HitRate returns the fraction of non-coalesced lookups served from cache.
+func (s Stats) HitRate() float64 {
+	n := s.Hits + s.Misses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(n)
+}
+
+// entry is one cached query result. All fields are immutable after insert
+// except lastUse (guarded by Server.mu). Validity is checked lazily at
+// lookup: the entry survives while every stripe in its mask still carries
+// the walk-store epoch and edge revision stamped before its compute began.
+type entry struct {
+	q          *salsa.Query
+	stream     uint64
+	mask       uint64
+	walkEpochs [walkstore.StripeCount]int64
+	edgeRevs   [walkstore.StripeCount]int64
+	lastUse    int64
+}
+
+// flight is one in-progress compute that same-source lookups coalesce onto.
+type flight struct {
+	done chan struct{}
+	res  *Result
+}
+
+// Server is the query-serving tier in front of a salsa.Maintainer: an
+// epoch-keyed result cache plus same-source singleflight batching. Route
+// arrivals through ApplyEdge/ApplyEdges (or install the arrival observer by
+// constructing the Server before the first arrival) so graph changes
+// invalidate cached results even when the repair fast path leaves the walk
+// store untouched.
+type Server struct {
+	m     *salsa.Maintainer
+	walks *walkstore.Store
+	cfg   Config
+
+	// edgeRevs[i] counts completed arrivals touching an endpoint in stripe
+	// i. The walk store's per-stripe epochs miss arrivals whose repair
+	// phases fast-skip (a degree change with no stored step to perturb
+	// mutates nothing), so the cache key needs this second, graph-side
+	// stamp; the maintainer's arrival observer bumps it after the
+	// arrival's effects are visible.
+	edgeRevs [walkstore.StripeCount]atomic.Int64
+
+	mu     sync.Mutex
+	cache  map[graph.NodeID]*entry
+	flight map[graph.NodeID]*flight
+	clock  int64 // logical LRU clock, guarded by mu
+
+	hits, misses, coalesced, raced, invalidated, evicted atomic.Int64
+}
+
+// New builds a serving tier over m and installs its arrival observer on the
+// maintainer. Construct the Server before streaming arrivals; arrivals
+// applied before the observer is installed are invisible to the cache keys.
+func New(m *salsa.Maintainer, cfg Config) *Server {
+	s := &Server{
+		m:      m,
+		walks:  m.Store(),
+		cfg:    cfg,
+		cache:  make(map[graph.NodeID]*entry),
+		flight: make(map[graph.NodeID]*flight),
+	}
+	m.SetArrivalObserver(s.observeArrival)
+	return s
+}
+
+// Maintainer returns the wrapped maintainer.
+func (s *Server) Maintainer() *salsa.Maintainer { return s.m }
+
+func (s *Server) observeArrival(ed graph.Edge) {
+	s.edgeRevs[walkstore.StripeOf(ed.From)].Add(1)
+	s.edgeRevs[walkstore.StripeOf(ed.To)].Add(1)
+}
+
+// ApplyEdge routes one arrival through the maintainer.
+func (s *Server) ApplyEdge(ed graph.Edge) { s.m.ApplyEdge(ed) }
+
+// ApplyEdges routes a batch of arrivals through the maintainer.
+func (s *Server) ApplyEdges(edges []graph.Edge) { s.m.ApplyEdges(edges) }
+
+// valid reports whether e may still be served: no masked stripe has moved
+// its walk-store epoch or its edge revision since e's compute was stamped.
+func (s *Server) valid(e *entry) bool {
+	m := e.mask
+	for m != 0 {
+		i := bits.TrailingZeros64(m)
+		m &^= 1 << uint(i)
+		if s.walks.StripeEpoch(i) != e.walkEpochs[i] {
+			return false
+		}
+		if s.edgeRevs[i].Load() != e.edgeRevs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Personalized serves a personalized SALSA query for source. A valid cached
+// result is returned as-is (0 store calls); concurrent lookups for the same
+// source coalesce onto one compute sharing its store snapshot and store
+// session; otherwise the query runs through the maintainer and, if no
+// mutation raced it, the result is cached keyed on its stripe mask.
+//
+// Serialized (no concurrent arrivals), a served result is bitwise identical
+// to a fresh recompute on its recorded stream. Racing a storm, a hit is the
+// result of a query whose masked stripes have not moved since it ran —
+// equivalent to recomputing it at the validation instant — and a miss has
+// the query layer's usual snapshot semantics; see DESIGN.md §9.
+func (s *Server) Personalized(source graph.NodeID) *Result {
+	for {
+		s.mu.Lock()
+		if e, ok := s.cache[source]; ok {
+			if s.valid(e) {
+				s.clock++
+				e.lastUse = s.clock
+				s.mu.Unlock()
+				s.hits.Add(1)
+				return &Result{Query: e.q, Hit: true, Stream: e.stream}
+			}
+			delete(s.cache, source)
+			s.invalidated.Add(1)
+		}
+		if fl, ok := s.flight[source]; ok {
+			s.mu.Unlock()
+			<-fl.done
+			if fl.res != nil {
+				s.coalesced.Add(1)
+				r := *fl.res
+				r.Coalesced = true
+				r.StoreCalls = 0
+				return &r
+			}
+			continue // leader vanished without a result; retry
+		}
+		fl := &flight{done: make(chan struct{})}
+		s.flight[source] = fl
+		s.mu.Unlock()
+		return s.compute(source, fl)
+	}
+}
+
+// compute runs the query as singleflight leader: pre-stamp every stripe's
+// epoch and edge revision, run the query, and cache the result only if the
+// stamps of every masked stripe held — otherwise a mutation raced the
+// compute and caching it could pin a torn snapshot.
+func (s *Server) compute(source graph.NodeID, fl *flight) *Result {
+	var walkEpochs, edgeRevs [walkstore.StripeCount]int64
+	for i := 0; i < walkstore.StripeCount; i++ {
+		walkEpochs[i] = s.walks.StripeEpoch(i)
+		edgeRevs[i] = s.edgeRevs[i].Load()
+	}
+	q := s.m.Personalized(source)
+	st := q.Stats()
+	res := &Result{Query: q, StoreCalls: st.StoreCalls, Stream: st.Stream}
+
+	e := &entry{q: q, stream: st.Stream, mask: st.StripeMask, walkEpochs: walkEpochs, edgeRevs: edgeRevs}
+	stable := s.valid(e)
+
+	s.mu.Lock()
+	if stable {
+		s.clock++
+		e.lastUse = s.clock
+		s.insertLocked(source, e)
+	} else {
+		s.raced.Add(1)
+	}
+	fl.res = res
+	delete(s.flight, source)
+	s.mu.Unlock()
+	close(fl.done)
+	s.misses.Add(1)
+	return res
+}
+
+// insertLocked adds e under s.mu, evicting the least recently used entry if
+// the cache is at cap. The linear eviction scan is fine at the default cap:
+// it only runs on insert, and an insert just paid for a full query compute.
+func (s *Server) insertLocked(source graph.NodeID, e *entry) {
+	if _, ok := s.cache[source]; !ok && len(s.cache) >= s.cfg.maxEntries() {
+		var victim graph.NodeID
+		oldest := int64(1<<63 - 1)
+		for v, old := range s.cache {
+			if old.lastUse < oldest {
+				oldest, victim = old.lastUse, v
+			}
+		}
+		delete(s.cache, victim)
+		s.evicted.Add(1)
+	}
+	s.cache[source] = e
+}
+
+// PersonalizedTopK serves the k best personalized authorities for source.
+func (s *Server) PersonalizedTopK(source graph.NodeID, k int) ([]topk.Item, *Result) {
+	res := s.Personalized(source)
+	return res.Query.TopK(k), res
+}
+
+// TopKStream serves a lazy descending iterator over source's personalized
+// authority scores, so a caller can early-terminate ("items until the score
+// drops below x") without paying for a full sort.
+func (s *Server) TopKStream(source graph.NodeID) (*topk.Stream, *Result) {
+	res := s.Personalized(source)
+	return topk.NewStream(res.Query.AuthorityAll()), res
+}
+
+// PersonalizedMany serves a burst of queries, one result per source in
+// order. Duplicate sources in the burst are computed once (the cache and
+// singleflight already guarantee that for concurrent bursts; this is the
+// convenience form for a caller holding a whole batch).
+func (s *Server) PersonalizedMany(sources []graph.NodeID) []*Result {
+	out := make([]*Result, len(sources))
+	for i, src := range sources {
+		out[i] = s.Personalized(src)
+	}
+	return out
+}
+
+// Invalidate drops any cached entry for source.
+func (s *Server) Invalidate(source graph.NodeID) {
+	s.mu.Lock()
+	if _, ok := s.cache[source]; ok {
+		delete(s.cache, source)
+		s.invalidated.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.cache)
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Raced:       s.raced.Load(),
+		Invalidated: s.invalidated.Load(),
+		Evicted:     s.evicted.Load(),
+		Entries:     n,
+	}
+}

@@ -72,6 +72,54 @@ func TopK(scores map[graph.NodeID]float64, k int) []Item {
 	return c.Items()
 }
 
+// Stream yields scored items in descending order (ties by ascending node
+// ID) one at a time, so a caller wanting "results until the score drops
+// below x" or "the first k that satisfy a filter" stops without paying for a
+// full sort. Construction heapifies in O(n); each Next is O(log n). The
+// input map is read once at construction; later map writes do not affect the
+// stream.
+type Stream struct {
+	h maxHeap
+}
+
+// NewStream returns a descending iterator over scores.
+func NewStream(scores map[graph.NodeID]float64) *Stream {
+	h := make(maxHeap, 0, len(scores))
+	for v, s := range scores {
+		h = append(h, Item{v, s})
+	}
+	heap.Init(&h)
+	return &Stream{h: h}
+}
+
+// Next returns the highest-scoring remaining item. ok is false when the
+// stream is exhausted.
+func (s *Stream) Next() (it Item, ok bool) {
+	if len(s.h) == 0 {
+		return Item{}, false
+	}
+	return heap.Pop(&s.h).(Item), true
+}
+
+// Len returns the number of items not yet yielded.
+func (s *Stream) Len() int { return len(s.h) }
+
+// maxHeap is itemHeap with the order reversed: the root is the best
+// remaining item under the same tie rule the Collector ranks by.
+type maxHeap []Item
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Item)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
 // less orders items ascending by score, with higher node IDs treated as
 // smaller on ties (so the min-heap evicts the larger ID first and the
 // returned ranking prefers lower IDs).

@@ -49,6 +49,50 @@ func TestTieEvictionPrefersLowerIDs(t *testing.T) {
 	}
 }
 
+func TestStreamMatchesTopKPrefix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 0))
+	scores := make(map[graph.NodeID]float64, 300)
+	for i := 0; i < 300; i++ {
+		scores[graph.NodeID(i)] = float64(rng.IntN(40)) // many ties
+	}
+	// Draining the stream must reproduce the full sorted ranking: every
+	// prefix of the drain equals TopK at that k.
+	full := TopK(scores, len(scores))
+	st := NewStream(scores)
+	if st.Len() != len(scores) {
+		t.Fatalf("fresh stream Len=%d want %d", st.Len(), len(scores))
+	}
+	for i, want := range full {
+		it, ok := st.Next()
+		if !ok {
+			t.Fatalf("stream dried up at %d of %d", i, len(full))
+		}
+		if it != want {
+			t.Fatalf("stream[%d]=%+v, TopK says %+v", i, it, want)
+		}
+	}
+	if _, ok := st.Next(); ok || st.Len() != 0 {
+		t.Fatal("stream yielded past exhaustion")
+	}
+
+	// Early termination: taking only three items must not have required the
+	// rest — pinned by Len after construction plus Next count.
+	st2 := NewStream(scores)
+	for i := 0; i < 3; i++ {
+		st2.Next()
+	}
+	if st2.Len() != len(scores)-3 {
+		t.Fatalf("after 3 Next calls Len=%d want %d", st2.Len(), len(scores)-3)
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	st := NewStream(nil)
+	if it, ok := st.Next(); ok {
+		t.Fatalf("empty stream yielded %+v", it)
+	}
+}
+
 func TestTopKMatchesFullSort(t *testing.T) {
 	rng := rand.New(rand.NewPCG(17, 0))
 	scores := make(map[graph.NodeID]float64, 200)

@@ -68,7 +68,13 @@
 // concurrent-safe, mutations of the same segment must be serialized by the
 // caller (the engine and both maintainers hold SegmentID stripe locks for
 // exactly this). Epoch counts completed mutations — the version stamp the
-// read-mostly query path brackets itself with.
+// read-mostly query path brackets itself with — and every stripe carries
+// its own StripeEpoch, bumped on each mutating acquisition of that
+// stripe's lock, so the serving tier can key cached query results on
+// exactly the stripes a query read (docs/DESIGN.md#9-the-serving-tier)
+// instead of invalidating on every mutation anywhere; Validate
+// cross-checks the per-stripe epochs against the global count of mutating
+// stripe acquisitions.
 //
 // Validate requires a quiescent store and enforces that itself: it takes
 // the segment lock plus every counter stripe and then checks the in-flight

@@ -173,6 +173,17 @@ type counterStripe struct {
 	// sum to the atomic globals and to a recount from the stored paths.
 	totalVisits int64
 	sidedTotals [2]int64
+
+	// epoch counts mutating acquisitions of this stripe's lock: every
+	// locked section that changed any node state in the stripe bumps it
+	// exactly once, from inside the critical section. It is the global
+	// Epoch() localized: a reader holding a stamp for the stripes it
+	// depends on learns whether *those* nodes' stored state moved, without
+	// being invalidated by an unrelated storm. Written under mu, read
+	// atomically (StripeEpoch); Validate cross-checks the sum of all
+	// stripe epochs against the global stripeTouches counter so a mutation
+	// path cannot silently skip the bump.
+	epoch atomic.Int64
 }
 
 // node returns the node's state, or nil.
@@ -272,6 +283,11 @@ type Store struct {
 	// much — the store moved underneath it.
 	epoch atomic.Int64
 
+	// stripeTouches counts mutating stripe-lock acquisitions across all
+	// stripes — the running sum the per-stripe epochs must add up to.
+	// Maintained purely as Validate's cross-check on the stripe epochs.
+	stripeTouches atomic.Int64
+
 	// mutators counts segment mutations in flight, from inside the segMu
 	// critical section of their arena phase until their last counter update
 	// has landed. Validate holds segMu plus every counter stripe, so a
@@ -306,10 +322,49 @@ func (s *Store) stripe(v graph.NodeID) *counterStripe {
 // provenance).
 func (s *Store) NumStripes() int { return numStripes }
 
+// StripeCount is the number of counter stripes as a compile-time constant,
+// exported so callers keying per-stripe state (the serving tier's
+// invalidation stamps fit one uint64 bitmask exactly because this is 64) can
+// size arrays and fail to compile if the stripe geometry ever changes.
+const StripeCount = numStripes
+
+// StripeOf returns the index of the counter stripe owning node v — the key
+// under which per-node mutations stamp StripeEpoch. Queries accumulate the
+// stripes they depend on with this function.
+func StripeOf(v graph.NodeID) int { return stripeIndex(v) }
+
 // Epoch returns the number of completed segment mutations. Monotone;
 // bracketing a read-only pass with two Epoch calls bounds how many mutations
 // landed during it.
 func (s *Store) Epoch() int64 { return s.epoch.Load() }
+
+// StripeEpoch returns stripe i's mutation stamp: the number of locked
+// sections that changed any node state in the stripe. It is Epoch()
+// localized — a mutation bumps exactly the stripes whose nodes it touched,
+// so a reader that stamps the stripes it read can detect whether *its*
+// dependencies moved while unrelated stripes churn freely. Monotone;
+// bumped after the owning critical section's changes are visible.
+func (s *Store) StripeEpoch(i int) int64 { return s.stripes[i].epoch.Load() }
+
+// AppendStripeEpochs appends every stripe's current epoch to dst (reset
+// first), indexed by stripe. The loads are individually atomic, not a
+// consistent cut: under concurrent mutation each stamp is exact for its own
+// stripe, which is all the per-stripe validation protocol needs.
+func (s *Store) AppendStripeEpochs(dst []int64) []int64 {
+	dst = dst[:0]
+	for i := range s.stripes {
+		dst = append(dst, s.stripes[i].epoch.Load())
+	}
+	return dst
+}
+
+// touchStripeLocked records one mutating acquisition of st's lock. Caller
+// holds st.mu; the paired global counter keeps Validate able to prove no
+// mutation path skipped its bump.
+func (s *Store) touchStripeLocked(st *counterStripe) {
+	st.epoch.Add(1)
+	s.stripeTouches.Add(1)
+}
 
 // SetObserver installs an observer for visit mutations. Must be called
 // while the store holds no live segments (fresh, or emptied for a rebuild);
@@ -430,6 +485,7 @@ func (s *Store) indexBatch(ids []SegmentID, stored [][]graph.NodeID, side Side) 
 		}
 		st := &s.stripes[si]
 		st.mu.Lock()
+		s.touchStripeLocked(st)
 		for _, op := range ops[si] {
 			switch op.kind {
 			case opOwner:
@@ -553,6 +609,7 @@ func (s *Store) applyTailOps(ops []tailOp, id SegmentID, side Side) {
 		si := stripeIndex(ops[i].v)
 		st := &s.stripes[si]
 		st.mu.Lock()
+		s.touchStripeLocked(st)
 		j := i
 		for ; j < len(ops) && stripeIndex(ops[j].v) == si; j++ {
 			op := ops[j]
@@ -986,6 +1043,7 @@ func (s *Store) Remove(id SegmentID) {
 	src := p[0]
 	st := s.stripe(src)
 	st.mu.Lock()
+	s.touchStripeLocked(st)
 	if ns := st.node(src); ns != nil {
 		if i := slices.Index(ns.owned, id); i >= 0 {
 			ns.owned = slices.Delete(ns.owned, i, i+1)
@@ -1116,7 +1174,7 @@ func (s *Store) Validate() error {
 	// Per-stripe checks: residency (a node's state lives in the stripe and
 	// slot its ID selects), counter exactness, and the stripe total shares
 	// summing to the atomic globals.
-	var stripeTotal int64
+	var stripeTotal, stripeEpochSum int64
 	var stripeSided [2]int64
 	nVisits, nTerminals := 0, 0
 	var nSidedVisits, nSidedTerminals [2]int
@@ -1125,6 +1183,7 @@ func (s *Store) Validate() error {
 	for i := range s.stripes {
 		st := &s.stripes[i]
 		stripeTotal += st.totalVisits
+		stripeEpochSum += st.epoch.Load()
 		for d := 0; d < 2; d++ {
 			stripeSided[d] += st.sidedTotals[d]
 		}
@@ -1211,6 +1270,12 @@ func (s *Store) Validate() error {
 	}
 	if stripeTotal != total {
 		return fmt.Errorf("walkstore: per-stripe visit shares sum to %d, want %d", stripeTotal, total)
+	}
+	// Per-stripe epoch cross-check: every mutating stripe acquisition bumps
+	// its stripe's epoch and the global touch counter as a pair, so a
+	// mutation path that forgot one of the bumps breaks this sum.
+	if got := s.stripeTouches.Load(); stripeEpochSum != got {
+		return fmt.Errorf("walkstore: per-stripe epochs sum to %d, want %d mutating stripe acquisitions", stripeEpochSum, got)
 	}
 	for d := 0; d < 2; d++ {
 		if nSidedVisits[d] != len(wantSidedVisits[d]) {
