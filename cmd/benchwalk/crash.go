@@ -23,20 +23,25 @@ import (
 
 // The crash harness proves the durability contract end to end, with a real
 // kill -9 rather than an in-process simulation: a child process runs a
-// persisted serialized storm, announcing each committed edge on stdout; the
-// parent SIGKILLs it at a seeded random edge, re-runs it in resume mode
-// (recover, rebuild the social graph to the recovered cursor, restore the
-// update RNG, apply the rest of the storm), and compares the resumed run's
-// final walk store — bitwise — against an uninterrupted in-process
-// reference. pagerank runs under fsync-every-record (recovery lands exactly
-// on the kill edge); salsa runs under batch:16 (recovery lands on an earlier
-// committed edge and redoes the tail), covering both resume shapes.
+// persisted serialized churn storm (mixed arrivals and deletions), announcing
+// each committed op on stdout; the parent SIGKILLs it at a seeded random op,
+// re-runs it in resume mode (recover, rebuild the social graph by replaying
+// the typed ops to the recovered cursor, restore the update RNG, apply the
+// rest of the storm), and compares the resumed run's final walk store —
+// bitwise — against an uninterrupted in-process reference. Each applied
+// deletion is journaled as a remove-edge WAL marker; the resume phase
+// cross-checks the recovered markers against the regenerated deletion
+// sequence, so the log provably committed the same deletions the storm
+// applied. pagerank runs under fsync-every-record (recovery lands exactly on
+// the kill op); salsa runs under batch:16 (recovery lands on an earlier
+// committed op and redoes the tail), covering both resume shapes.
 
 // crashRun is one engine's kill/recover/resume result.
 type crashRun struct {
 	Engine          string  `json:"engine"`
 	FsyncPolicy     string  `json:"fsync_policy"`
 	StormEdges      int     `json:"storm_edges"`
+	DeleteOps       int     `json:"delete_ops"`
 	KillAtEdge      int     `json:"kill_at_edge"`
 	RecoveredCursor int64   `json:"recovered_cursor"`
 	ReplayedRecords int     `json:"replayed_records"`
@@ -45,6 +50,10 @@ type crashRun struct {
 	RecoverySeconds float64 `json:"recovery_seconds"`
 	ValidateClean   bool    `json:"validate_clean"`
 	EstimatesMatch  bool    `json:"estimates_match"`
+	// WalDeletesMatch reports the remove-edge cross-check: the markers
+	// recovered from the WAL must be exactly the tail of the deletions the
+	// regenerated storm applied up to the recovered cursor.
+	WalDeletesMatch bool `json:"wal_deletes_match"`
 }
 
 type crashReport struct {
@@ -55,16 +64,19 @@ type crashReport struct {
 // longer storm only adds time, not coverage.
 const crashStormCap = 900
 
-// crashWorkload derives the base graph and hot-spot storm both processes
-// (and both phases) must agree on, purely from the flag values the parent
-// forwards to the child.
-func crashWorkload(n, d int, seed uint64, updates int) (*graph.Graph, []graph.Edge) {
+// crashWorkload derives the base graph and churn storm both processes (and
+// both phases) must agree on, purely from the flag values the parent forwards
+// to the child. The storm interleaves hot-spot arrivals with shrink phases
+// deleting a quarter of the stream's live edges, so the WAL carries
+// remove-edge markers and reverse-reroute repair records alongside arrivals.
+func crashWorkload(n, d int, seed uint64, updates int) (*graph.Graph, []graph.Event) {
 	base := gen.PreferentialAttachment(n, d, rand.New(rand.NewPCG(seed, 0)))
 	m := updates
 	if m > crashStormCap {
 		m = crashStormCap
 	}
-	storm := gen.HotSpotStream(n, m, rand.New(rand.NewPCG(seed, 0xc4a54)))
+	arrivals := gen.HotSpotStream(n, m, rand.New(rand.NewPCG(seed, 0xc4a54)))
+	storm := gen.ShrinkGrowStream(arrivals, 4, 0.25, rand.New(rand.NewPCG(seed, 0xde1)))
 	return base, storm
 }
 
@@ -111,7 +123,8 @@ func storeFingerprint(s interface {
 type crashMaintainer interface {
 	Bootstrap() int64
 	ApplyEdge(graph.Edge)
-	ApplyEdges([]graph.Edge)
+	ApplyDeletion(graph.Edge)
+	ApplyEvents([]graph.Event)
 	UpdateRNGState() []byte
 	RestoreUpdateRNGState([]byte) error
 }
@@ -140,6 +153,7 @@ type crashResult struct {
 	ValidateClean   bool    `json:"validate_clean"`
 	ValidateError   string  `json:"validate_error,omitempty"`
 	Fingerprint     uint64  `json:"fingerprint"`
+	WalDeletesMatch bool    `json:"wal_deletes_match"`
 }
 
 // runCrashHarness is the parent side: for each engine, compute the
@@ -155,6 +169,11 @@ func runCrashHarness(n, d, r int, eps float64, seed uint64, updates int, root st
 		bailIfInterrupted(nil)
 		base, storm := crashWorkload(n, d, seed, updates)
 		run := crashRun{Engine: engine, FsyncPolicy: crashPolicy(engine), StormEdges: len(storm)}
+		for _, ev := range storm {
+			if ev.Del {
+				run.DeleteOps++
+			}
+		}
 
 		// Uninterrupted reference, fully in-process and serialized.
 		want := crashReference(engine, base, storm, r, eps, seed)
@@ -173,8 +192,8 @@ func runCrashHarness(n, d, r int, eps float64, seed uint64, updates int, root st
 			"-eps", fmt.Sprint(eps), "-seed", fmt.Sprint(seed), "-updates", fmt.Sprint(updates),
 		}
 
-		fmt.Printf("crash %-8s storm of %d edges, kill -9 at edge %d (%s)\n",
-			engine, len(storm), run.KillAtEdge, run.FsyncPolicy)
+		fmt.Printf("crash %-8s churn storm of %d ops (%d deletions), kill -9 at op %d (%s)\n",
+			engine, len(storm), run.DeleteOps, run.KillAtEdge, run.FsyncPolicy)
 		if err := runStormChildAndKill(exe, forward, run.KillAtEdge); err != nil {
 			return nil, fmt.Errorf("%s storm child: %w", engine, err)
 		}
@@ -199,14 +218,15 @@ func runCrashHarness(n, d, r int, eps float64, seed uint64, updates int, root st
 		run.RecoverySeconds = cr.RecoverySeconds
 		run.ValidateClean = cr.ValidateClean
 		run.EstimatesMatch = cr.Fingerprint == want
+		run.WalDeletesMatch = cr.WalDeletesMatch
 		rep.Runs = append(rep.Runs, run)
 		status := "estimates MATCH reference bitwise"
 		if !run.EstimatesMatch {
 			status = "estimates DIVERGE from reference"
 		}
-		fmt.Printf("crash %-8s recovered cursor %d (torn %d B, %d replayed, %d discarded) in %.3fs; validate clean=%v; %s\n",
+		fmt.Printf("crash %-8s recovered cursor %d (torn %d B, %d replayed, %d discarded) in %.3fs; validate clean=%v; wal deletes match=%v; %s\n",
 			engine, run.RecoveredCursor, run.TornBytes, run.ReplayedRecords, run.DiscardedRecs,
-			run.RecoverySeconds, run.ValidateClean, status)
+			run.RecoverySeconds, run.ValidateClean, run.WalDeletesMatch, status)
 		if cr.ValidateError != "" {
 			fmt.Printf("crash %-8s validate error: %s\n", engine, cr.ValidateError)
 		}
@@ -250,19 +270,19 @@ func runStormChildAndKill(exe string, forward []string, killAt int) error {
 	return nil
 }
 
-// crashReference runs the storm uninterrupted, serialized, in-process.
-func crashReference(engine string, base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64) uint64 {
+// crashReference runs the churn storm uninterrupted, serialized, in-process.
+func crashReference(engine string, base *graph.Graph, storm []graph.Event, r int, eps float64, seed uint64) uint64 {
 	soc := socialstore.New(base.Clone())
 	switch engine {
 	case "salsa":
 		mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
 		mt.Bootstrap()
-		mt.ApplyEdges(storm)
+		mt.ApplyEvents(storm)
 		return storeFingerprint(mt.Store())
 	default:
 		mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
 		mt.Bootstrap()
-		mt.ApplyEdges(storm)
+		mt.ApplyEvents(storm)
 		return storeFingerprint(mt.Store())
 	}
 }
@@ -297,8 +317,17 @@ func runCrashChild(engine, phase, dir string, n, d, r int, eps float64, seed uin
 		if err := pm.Checkpoint(); err != nil {
 			return err
 		}
-		for i, ed := range storm {
-			mt.ApplyEdge(ed)
+		for i, ev := range storm {
+			if ev.Del {
+				mt.ApplyDeletion(ev.Edge)
+				// Journal the graph-level deletion before its covering commit
+				// marker, so recovery can prove which deletions were durable.
+				if err := pm.LogRemoveEdge(ev.Edge.From, ev.Edge.To); err != nil {
+					return err
+				}
+			} else {
+				mt.ApplyEdge(ev.Edge)
+			}
 			if err := pm.Commit(int64(i), mt.UpdateRNGState()); err != nil {
 				return err
 			}
@@ -325,14 +354,52 @@ func runCrashChild(engine, phase, dir string, n, d, r int, eps float64, seed uin
 			return fmt.Errorf("recovered directory has no commit marker (cursor %d)", info.Cursor)
 		}
 		soc := socialstore.New(base.Clone())
-		for _, ed := range storm[:info.Cursor+1] {
-			soc.AddEdge(ed.From, ed.To)
+		for _, ev := range storm[:info.Cursor+1] {
+			if ev.Del {
+				// Same swap-delete the live run performed: the rebuilt
+				// adjacency rows end up in the identical order, so fresh
+				// tails sample identically in the redo below.
+				soc.RemoveEdge(ev.Edge.From, ev.Edge.To)
+			} else {
+				soc.AddEdge(ev.Edge.From, ev.Edge.To)
+			}
+		}
+		// Cross-check the WAL's remove-edge markers against the regenerated
+		// deletions: the recovered markers cover the window since the last
+		// checkpoint, so they must be exactly the tail of the deletion
+		// sequence up to the recovered cursor.
+		var dels []graph.Edge
+		for _, ev := range storm[:info.Cursor+1] {
+			if ev.Del {
+				dels = append(dels, ev.Edge)
+			}
+		}
+		walDeletesMatch := len(info.RemovedEdges) <= len(dels)
+		if walDeletesMatch {
+			tail := dels[len(dels)-len(info.RemovedEdges):]
+			for i, ed := range info.RemovedEdges {
+				if tail[i] != ed {
+					walDeletesMatch = false
+					break
+				}
+			}
 		}
 		mt := recoverEngineMaintainer(engine, soc, r, eps, seed, walks)
 		if err := mt.RestoreUpdateRNGState(info.State); err != nil {
 			return err
 		}
-		mt.ApplyEdges(storm[info.Cursor+1:])
+		// Redo the tail per-op, re-journaling each deletion like the storm
+		// phase would have.
+		for _, ev := range storm[info.Cursor+1:] {
+			if ev.Del {
+				mt.ApplyDeletion(ev.Edge)
+				if err := pm.LogRemoveEdge(ev.Edge.From, ev.Edge.To); err != nil {
+					return err
+				}
+			} else {
+				mt.ApplyEdge(ev.Edge)
+			}
+		}
 		res := crashResult{
 			Cursor:          info.Cursor,
 			Replayed:        info.Replayed,
@@ -340,6 +407,7 @@ func runCrashChild(engine, phase, dir string, n, d, r int, eps float64, seed uin
 			TornBytes:       info.TornBytes,
 			RecoverySeconds: time.Since(t0).Seconds(),
 			Fingerprint:     storeFingerprint(walks),
+			WalDeletesMatch: walDeletesMatch,
 		}
 		if verr := walks.Validate(); verr != nil {
 			res.ValidateError = verr.Error()

@@ -15,6 +15,13 @@
 // consuming arrivals — the read-mostly path that used to serialize against
 // updates.
 //
+// The churn profile (-churn, on by default) folds the storm into a
+// shrink-grow event stream — arrivals interleaved with deletions of live
+// edges — and replays it through both maintainers (delete throughput of the
+// reverse reroute rule), then streams the storm through the engine's
+// sliding window at a capacity below the stream length so expiring edges
+// exercise the deletion path continuously.
+//
 // The durability sweep (-wal) replays a serialized pagerank storm with every
 // walk-store mutation journaled through internal/persist at each fsync
 // policy, commits a marker per edge, and times a cold recovery. The crash
@@ -184,6 +191,49 @@ type serveResult struct {
 	HitRecomputeMatch bool    `json:"hit_recompute_match"`
 }
 
+// churnResult reports one maintainer churn-storm replay: the update storm
+// folded into a shrink-grow event stream (arrivals and deletions
+// interleaved) and consumed through one incremental maintainer, with the
+// deletion throughput the reverse reroute rule sustains next to the event
+// throughput.
+type churnResult struct {
+	Engine        string  `json:"engine"` // "pagerank" or "salsa"
+	UpdateWorkers int     `json:"update_workers"`
+	Seconds       float64 `json:"seconds"`
+	Events        int     `json:"events"`
+	Arrivals      int     `json:"arrivals"`
+	Deletions     int     `json:"deletions"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	DeletesPerSec float64 `json:"deletes_per_sec"`
+	DelMisses     int64   `json:"del_misses"`
+	DelRerouted   int64   `json:"del_rerouted_segments"`
+	DelTruncated  int64   `json:"del_truncated_segments"`
+	SlowNoops     int64   `json:"slow_noops"`
+}
+
+// windowResult reports the sliding-window driver: the storm streamed
+// through engine.ApplyWindow at a capacity below the stream length, so
+// every arrival past the fill phase expires the oldest windowed edge
+// through the deletion path.
+type windowResult struct {
+	Capacity     int     `json:"capacity"`
+	Streamed     int     `json:"streamed"`
+	Expired      int     `json:"expired"`
+	Turnover     float64 `json:"turnover"`
+	Seconds      float64 `json:"seconds"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	Rerouted     int64   `json:"expiry_rerouted_segments"`
+	Truncated    int64   `json:"expiry_truncated_segments"`
+	DeleteMissed int     `json:"delete_missed"`
+}
+
+// churnReport groups the -churn profile: maintainer churn storms per
+// engine and update-worker count, plus the sliding-window turnover run.
+type churnReport struct {
+	Storms []churnResult `json:"storms"`
+	Window *windowResult `json:"window,omitempty"`
+}
+
 type report struct {
 	Timestamp    string      `json:"timestamp"`
 	GoVersion    string      `json:"go_version"`
@@ -223,6 +273,9 @@ type report struct {
 	// storm, then cold-vs-hit timing on the settled store (absent with
 	// -salsa=false or -queries 0).
 	ServeQueries *serveResult `json:"serve_queries,omitempty"`
+	// Churn is the -churn profile: shrink-grow deletion storms through both
+	// maintainers plus the sliding-window driver (absent with -churn=false).
+	Churn *churnReport `json:"churn,omitempty"`
 	// Durability is the fsync-policy sweep: the serialized pagerank storm
 	// with WAL journaling and one commit marker per edge, plus cold-recovery
 	// timing (absent with -wal off).
@@ -246,6 +299,7 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "tiny CI run (overrides -n/-d/-r/-updates)")
 		mstorm   = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
 		dosalsa  = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
+		dochurn  = flag.Bool("churn", true, "replay a shrink-grow churn stream (arrivals + deletions) through both maintainers and the sliding-window driver")
 		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile (0 skips the query profiles)")
 		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 		verify   = flag.String("verify", "", "validate an existing report JSON (parses, non-zero throughputs) and exit")
@@ -348,9 +402,9 @@ func main() {
 		}
 		writeReport(*out, rep)
 		for _, run := range cr.Runs {
-			if !run.ValidateClean || !run.EstimatesMatch {
-				fmt.Fprintf(os.Stderr, "benchwalk: crash run %s failed (validate_clean=%v estimates_match=%v)\n",
-					run.Engine, run.ValidateClean, run.EstimatesMatch)
+			if !run.ValidateClean || !run.EstimatesMatch || !run.WalDeletesMatch {
+				fmt.Fprintf(os.Stderr, "benchwalk: crash run %s failed (validate_clean=%v estimates_match=%v wal_deletes_match=%v)\n",
+					run.Engine, run.ValidateClean, run.EstimatesMatch, run.WalDeletesMatch)
 				os.Exit(1)
 			}
 		}
@@ -456,6 +510,21 @@ func main() {
 				sv.MeanQueryMillis, sv.P50QueryMillis, sv.P99QueryMillis, sv.MaxStoreCalls)
 			fmt.Printf("serve quiescent: cold %.3fms vs hit %.5fms = %.0fx, recompute match %v, validate clean %v\n",
 				sv.ColdMillis, sv.HitMillis, sv.HitSpeedup, sv.HitRecomputeMatch, sv.ValidateClean)
+		}
+	}
+
+	if *dochurn {
+		bailIfInterrupted(nil)
+		ch := benchChurn(base, storm, *r, *eps, *seed, ucounts)
+		rep.Churn = &ch
+		for _, cs := range ch.Storms {
+			fmt.Printf("churn storm %-8s uw=%-2d %7.3fs (%.0f events/s, %.0f deletes/s; %d deletions, %d missed, %d rerouted, %d truncated)\n",
+				cs.Engine, cs.UpdateWorkers, cs.Seconds, cs.EventsPerSec, cs.DeletesPerSec,
+				cs.Deletions, cs.DelMisses, cs.DelRerouted, cs.DelTruncated)
+		}
+		if w := ch.Window; w != nil {
+			fmt.Printf("window capacity %d: %d streamed, %d expired (turnover %.2f), %.0f edges/s (%d rerouted, %d truncated on expiry)\n",
+				w.Capacity, w.Streamed, w.Expired, w.Turnover, w.EdgesPerSec, w.Rerouted, w.Truncated)
 		}
 	}
 
@@ -587,6 +656,12 @@ func verifyReport(path string) error {
 			if !c.EstimatesMatch {
 				return fmt.Errorf("%s: crash run %s resumed to estimates that differ from the uninterrupted run", path, c.Engine)
 			}
+			if c.DeleteOps <= 0 {
+				return fmt.Errorf("%s: crash run %s stormed without deletions (the harness is a churn storm)", path, c.Engine)
+			}
+			if !c.WalDeletesMatch {
+				return fmt.Errorf("%s: crash run %s recovered remove-edge markers that disagree with the regenerated deletions", path, c.Engine)
+			}
 			if c.KillAtEdge < 0 || c.RecoveredCursor >= int64(c.StormEdges) {
 				return fmt.Errorf("%s: crash run %s has incoherent kill/cursor positions (%d, %d of %d)",
 					path, c.Engine, c.KillAtEdge, c.RecoveredCursor, c.StormEdges)
@@ -663,6 +738,41 @@ func verifyReport(path string) error {
 		if sv.Queries <= 0 || sv.P50QueryMillis <= 0 || sv.P99QueryMillis < sv.P50QueryMillis {
 			return fmt.Errorf("%s: serve profile has incoherent latency columns (%d queries, p50 %.3f, p99 %.3f)",
 				path, sv.Queries, sv.P50QueryMillis, sv.P99QueryMillis)
+		}
+	}
+	if ch := rep.Churn; ch != nil {
+		if len(ch.Storms) == 0 {
+			return fmt.Errorf("%s has a churn section with no storms", path)
+		}
+		for _, cs := range ch.Storms {
+			if cs.Deletions <= 0 || cs.DeletesPerSec <= 0 || cs.EventsPerSec <= 0 {
+				return fmt.Errorf("%s: churn storm %s uw=%d recorded no deletion throughput (%d deletions, %.0f del/s)",
+					path, cs.Engine, cs.UpdateWorkers, cs.Deletions, cs.DeletesPerSec)
+			}
+			if cs.SlowNoops != 0 {
+				return fmt.Errorf("%s: churn storm %s uw=%d broke the SlowNoops == 0 invariant (%d)",
+					path, cs.Engine, cs.UpdateWorkers, cs.SlowNoops)
+			}
+			// Serialized, a shrink-grow stream only ever deletes live edges;
+			// a miss means the reroute rule and the stream disagree about the
+			// graph. (Parallel replays may legitimately miss on races.)
+			if cs.UpdateWorkers == 1 && cs.DelMisses != 0 {
+				return fmt.Errorf("%s: serialized churn storm %s missed %d deletions of live edges",
+					path, cs.Engine, cs.DelMisses)
+			}
+		}
+		if w := ch.Window; w != nil {
+			if w.EdgesPerSec <= 0 || w.Turnover <= 0 {
+				return fmt.Errorf("%s: window profile recorded no turnover (%.2f at %.0f edges/s)",
+					path, w.Turnover, w.EdgesPerSec)
+			}
+			if w.Streamed > w.Capacity && w.Expired != w.Streamed-w.Capacity {
+				return fmt.Errorf("%s: window profile held %d edges too many/few (%d streamed, %d expired, capacity %d)",
+					path, w.Streamed-w.Capacity-w.Expired, w.Streamed, w.Expired, w.Capacity)
+			}
+			if w.DeleteMissed != 0 {
+				return fmt.Errorf("%s: window profile lost track of %d windowed edges", path, w.DeleteMissed)
+			}
 		}
 	}
 	for _, dr := range rep.Durability {
@@ -1044,6 +1154,74 @@ func benchServe(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 	res.SlowNoops = mt.Counters().SlowNoops
 	res.ValidateClean = mt.Store().Validate() == nil
 	return res
+}
+
+// benchChurn folds the update storm into a shrink-grow churn stream and
+// replays it through both incremental maintainers at each update-worker
+// count — the deletion-throughput profile of the reverse reroute rule —
+// then streams the raw storm through the engine's sliding window at a
+// capacity of a quarter of the stream, so three quarters of the arrivals
+// expire back out through the deletion path. Every replay runs on a
+// private clone so the profiles do not contaminate each other.
+func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, ucounts []int) churnReport {
+	events := gen.ShrinkGrowStream(storm, 4, 0.3, rand.New(rand.NewPCG(seed, 0xc1124)))
+	arrivals, deletions := 0, 0
+	for _, ev := range events {
+		if ev.Del {
+			deletions++
+		} else {
+			arrivals++
+		}
+	}
+
+	var chr churnReport
+	row := func(engine string, uw int, el time.Duration, misses, rerouted, truncated, slowNoops int64) churnResult {
+		res := churnResult{
+			Engine: engine, UpdateWorkers: uw, Seconds: el.Seconds(),
+			Events: len(events), Arrivals: arrivals, Deletions: deletions,
+			DelMisses: misses, DelRerouted: rerouted, DelTruncated: truncated, SlowNoops: slowNoops,
+		}
+		if s := el.Seconds(); s > 0 {
+			res.EventsPerSec = float64(len(events)) / s
+			res.DeletesPerSec = float64(deletions) / s
+		}
+		return res
+	}
+	for _, uw := range ucounts {
+		mt := pagerank.New(socialstore.New(base.Clone()), pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
+		mt.Bootstrap()
+		t0 := time.Now()
+		mt.ApplyEvents(events)
+		c := mt.Counters()
+		chr.Storms = append(chr.Storms, row("pagerank", uw, time.Since(t0), c.DelMisses, c.DelRerouted, c.DelTruncated, c.SlowNoops))
+	}
+	for _, uw := range ucounts {
+		mt := salsa.New(socialstore.New(base.Clone()), salsa.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
+		mt.Bootstrap()
+		t0 := time.Now()
+		mt.ApplyEvents(events)
+		c := mt.Counters()
+		chr.Storms = append(chr.Storms, row("salsa", uw, time.Since(t0), c.DelMisses, c.DelRerouted, c.DelTruncated, c.SlowNoops))
+	}
+
+	g := base.Clone()
+	store := walkstore.New()
+	eng := engine.New(g, store, engine.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
+	eng.BuildStore(g.Nodes())
+	capacity := max(1, len(storm)/4)
+	t0 := time.Now()
+	ws := eng.ApplyWindow(storm, capacity, seed+3)
+	el := time.Since(t0)
+	w := windowResult{
+		Capacity: capacity, Streamed: ws.Arrived, Expired: ws.Expired,
+		Turnover: ws.Turnover(), Seconds: el.Seconds(),
+		Rerouted: ws.Delete.Rerouted, Truncated: ws.Delete.Truncated, DeleteMissed: ws.Delete.Missed,
+	}
+	if s := el.Seconds(); s > 0 {
+		w.EdgesPerSec = float64(ws.Arrived) / s
+	}
+	chr.Window = &w
+	return chr
 }
 
 // updateStorm draws random new edges over the node ID space, the arrival

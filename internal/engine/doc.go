@@ -19,6 +19,15 @@
 // for the system-wide lock order and docs/DESIGN.md#1-data-flow for where
 // the engine sits in it.
 //
+// The engine also replays the inverse stream: ApplyDeletions runs the
+// reverse reroute rule (each stored step through a removed copy of (u, v)
+// captured with probability 1/c over the pre-removal multiplicity c, then
+// re-stepped through a surviving out-edge or truncated when none survive),
+// and ApplyWindow streams arrivals through a fixed-capacity sliding window,
+// feeding each expiring edge back through the deletion path so the graph
+// always holds exactly the last capacity arrivals — see
+// docs/DESIGN.md#10-deletions--windows.
+//
 // The engine is the throughput-oriented, approximately-serialized replay
 // used by benchmarks; pagerank.Maintainer layers the exactly-serialized,
 // call-accounted update path with the W(v) fast path on top of the same

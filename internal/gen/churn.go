@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"fastppr/internal/graph"
+)
+
+// Churn streams: mixed arrival/deletion event sequences for exercising the
+// deletion repair path. Both generators track the live edge multiset and
+// only ever delete edges that are currently present, so every deletion in a
+// generated stream hits (no DelMisses) when the stream is replayed in order
+// onto the graph it assumes — empty for PowerLawChurnStream, the stream's
+// own arrivals for ShrinkGrowStream.
+
+// ShrinkGrowStream turns an arrival stream into alternating grow and shrink
+// phases: the arrivals are split into `phases` contiguous chunks, and after
+// each chunk a shrinkFrac fraction of the currently live edges (uniformly
+// chosen, multiset semantics) is deleted. shrinkFrac must be in [0, 1);
+// phases >= 1. The input order is preserved within chunks, so a fixed-seed
+// caller gets a reproducible stream.
+func ShrinkGrowStream(arrivals []graph.Edge, phases int, shrinkFrac float64, rng *rand.Rand) []graph.Event {
+	if phases < 1 {
+		panic("gen: ShrinkGrowStream needs phases >= 1")
+	}
+	if shrinkFrac < 0 || shrinkFrac >= 1 {
+		panic("gen: ShrinkGrowStream needs shrinkFrac in [0, 1)")
+	}
+	events := make([]graph.Event, 0, len(arrivals)*2)
+	live := make([]graph.Edge, 0, len(arrivals))
+	chunk := (len(arrivals) + phases - 1) / phases
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(arrivals); lo += chunk {
+		hi := min(lo+chunk, len(arrivals))
+		for _, ed := range arrivals[lo:hi] {
+			events = append(events, graph.Event{Edge: ed})
+			live = append(live, ed)
+		}
+		kill := int(shrinkFrac * float64(len(live)))
+		for k := 0; k < kill; k++ {
+			i := rng.IntN(len(live))
+			events = append(events, graph.Event{Edge: live[i], Del: true})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	return events
+}
+
+// PowerLawChurnStream generates m events over n nodes: each event is a
+// deletion of a uniformly random live edge with probability delFrac (when
+// any edge is live), otherwise an arrival whose endpoints are drawn from a
+// Zipf(alpha) rank distribution — hubs gain and lose edges constantly, the
+// adversarial regime for the deletion repair path since hot nodes carry the
+// most stored walk hits. Self-loops are skipped at sampling time. delFrac
+// must be in [0, 1); n >= 2.
+func PowerLawChurnStream(n, m int, alpha, delFrac float64, rng *rand.Rand) []graph.Event {
+	if n < 2 {
+		panic("gen: PowerLawChurnStream needs n >= 2")
+	}
+	if delFrac < 0 || delFrac >= 1 {
+		panic("gen: PowerLawChurnStream needs delFrac in [0, 1)")
+	}
+	z := NewZipf(n, alpha)
+	events := make([]graph.Event, 0, m)
+	live := make([]graph.Edge, 0, m)
+	for t := 0; t < m; t++ {
+		if len(live) > 0 && rng.Float64() < delFrac {
+			i := rng.IntN(len(live))
+			events = append(events, graph.Event{Edge: live[i], Del: true})
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		u := graph.NodeID(z.Sample(rng))
+		var v graph.NodeID
+		for {
+			v = graph.NodeID(z.Sample(rng))
+			if v != u {
+				break
+			}
+		}
+		ed := graph.Edge{From: u, To: v}
+		events = append(events, graph.Event{Edge: ed})
+		live = append(live, ed)
+	}
+	return events
+}
+
+// SplitEvents partitions a churn stream into its arrivals and deletions,
+// preserving order within each class. Used by drivers that feed the two
+// classes through separate batch calls.
+func SplitEvents(events []graph.Event) (adds, dels []graph.Edge) {
+	for _, ev := range events {
+		if ev.Del {
+			dels = append(dels, ev.Edge)
+		} else {
+			adds = append(adds, ev.Edge)
+		}
+	}
+	return adds, dels
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// replayLive replays a churn stream against a live-edge multiset, failing if
+// any deletion targets an edge that is not currently live — the contract both
+// generators promise — and returns the surviving multiset.
+func replayLive(t *testing.T, events []graph.Event) map[graph.Edge]int {
+	t.Helper()
+	live := map[graph.Edge]int{}
+	for i, ev := range events {
+		if ev.Del {
+			if live[ev.Edge] == 0 {
+				t.Fatalf("event %d deletes %v which is not live", i, ev.Edge)
+			}
+			live[ev.Edge]--
+		} else {
+			live[ev.Edge]++
+		}
+	}
+	return live
+}
+
+func TestShrinkGrowStreamOnlyDeletesLive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(201, 0))
+	arrivals := DirichletStream(50, 800, rng)
+	events := ShrinkGrowStream(arrivals, 4, 0.3, rng)
+
+	adds, dels := SplitEvents(events)
+	if len(adds) != len(arrivals) {
+		t.Fatalf("stream carries %d arrivals, want all %d", len(adds), len(arrivals))
+	}
+	if len(dels) == 0 {
+		t.Fatal("shrink phases produced no deletions")
+	}
+	live := replayLive(t, events)
+	n := 0
+	for _, k := range live {
+		n += k
+	}
+	if n != len(adds)-len(dels) {
+		t.Fatalf("%d live edges after replay, want %d", n, len(adds)-len(dels))
+	}
+	// Arrival order is preserved within chunks.
+	j := 0
+	for _, ev := range events {
+		if !ev.Del {
+			if ev.Edge != arrivals[j] {
+				t.Fatalf("arrival %d reordered: %v vs %v", j, ev.Edge, arrivals[j])
+			}
+			j++
+		}
+	}
+}
+
+func TestShrinkGrowStreamReproducible(t *testing.T) {
+	arrivals := DirichletStream(30, 300, rand.New(rand.NewPCG(202, 0)))
+	a := ShrinkGrowStream(arrivals, 3, 0.25, rand.New(rand.NewPCG(203, 0)))
+	b := ShrinkGrowStream(arrivals, 3, 0.25, rand.New(rand.NewPCG(203, 0)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths diverge: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPowerLawChurnStreamOnlyDeletesLive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(204, 0))
+	events := PowerLawChurnStream(60, 1000, 0.9, 0.4, rng)
+	if len(events) != 1000 {
+		t.Fatalf("generated %d events, want 1000", len(events))
+	}
+	_, dels := SplitEvents(events)
+	if len(dels) == 0 {
+		t.Fatal("delFrac=0.4 produced no deletions")
+	}
+	for i, ev := range events {
+		if !ev.Del && ev.Edge.From == ev.Edge.To {
+			t.Fatalf("event %d is a self-loop arrival: %v", i, ev.Edge)
+		}
+	}
+	replayLive(t, events)
+}
+
+func TestChurnStreamPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	rng := rand.New(rand.NewPCG(205, 0))
+	mustPanic("phases=0", func() { ShrinkGrowStream(nil, 0, 0.1, rng) })
+	mustPanic("shrinkFrac=1", func() { ShrinkGrowStream(nil, 1, 1, rng) })
+	mustPanic("n=1", func() { PowerLawChurnStream(1, 10, 0.9, 0.1, rng) })
+	mustPanic("delFrac=-0.1", func() { PowerLawChurnStream(5, 10, 0.9, -0.1, rng) })
+}

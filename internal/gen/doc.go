@@ -12,4 +12,13 @@
 // the Twitter experiments exercised is exercised here;
 // docs/DESIGN.md#5-workload-substitution-no-twitter-data records the
 // substitution.
+//
+// Churn streams extend the arrival models with deletions
+// (docs/DESIGN.md#10-deletions--windows): ShrinkGrowStream folds an
+// arrival stream into alternating grow/shrink phases, and
+// PowerLawChurnStream interleaves preferential-attachment arrivals with
+// uniform deletions. Both only ever delete edges live at that point in the
+// stream — a serialized replay must record zero deletion misses — and
+// SplitEvents recovers the plain arrival slice when a consumer wants the
+// growth-only prefix semantics.
 package gen

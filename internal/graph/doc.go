@@ -23,4 +23,12 @@
 // locks are the leaf level of the system-wide lock order
 // (docs/DESIGN.md#6-concurrency-model); the graph's place in the data flow
 // is docs/DESIGN.md#1-data-flow.
+//
+// The graph shrinks as well as grows: RemoveEdge deletes one copy of a
+// multigraph edge by swap-delete (first occurrence, so typed replay of an
+// event stream reproduces adjacency row order bitwise), the primitive
+// under the reverse reroute rule of docs/DESIGN.md#10-deletions--windows.
+// Event tags an edge as an arrival or a deletion for mixed churn streams,
+// and Window is the fixed-capacity FIFO ring the engine's sliding-window
+// driver expires old arrivals through.
 package graph

@@ -292,6 +292,25 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 	return false
 }
 
+// CountEdges returns the multiplicity of u -> v: how many parallel copies of
+// the edge exist. The deletion repair rule needs it — removing one copy of a
+// multi-edge perturbs each stored step through it with probability 1/c, not
+// deterministically.
+func (g *Graph) CountEdges(u, v NodeID) int {
+	sh := &g.shards[g.shardOf(u)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	n := 0
+	if r := sh.row(u, g.slotBits); r != nil {
+		for _, x := range r.out {
+			if x == v {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // HasNode reports whether v is present.
 func (g *Graph) HasNode(v NodeID) bool {
 	sh := &g.shards[g.shardOf(v)]

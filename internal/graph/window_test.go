@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestCountEdges(t *testing.T) {
+	g := New(0)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	if got := g.CountEdges(1, 2); got != 2 {
+		t.Fatalf("CountEdges(1,2)=%d want 2", got)
+	}
+	if got := g.CountEdges(1, 3); got != 1 {
+		t.Fatalf("CountEdges(1,3)=%d want 1", got)
+	}
+	if got := g.CountEdges(1, 4); got != 0 {
+		t.Fatalf("CountEdges(1,4)=%d want 0", got)
+	}
+	if got := g.CountEdges(9, 1); got != 0 {
+		t.Fatalf("CountEdges of unknown source = %d want 0", got)
+	}
+	g.RemoveEdge(1, 2)
+	if got := g.CountEdges(1, 2); got != 1 {
+		t.Fatalf("CountEdges(1,2) after removal = %d want 1", got)
+	}
+}
+
+func TestWindowFIFO(t *testing.T) {
+	w := NewWindow(3)
+	if w.Cap() != 3 || w.Len() != 0 {
+		t.Fatalf("fresh window Cap=%d Len=%d", w.Cap(), w.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ev := w.Push(Edge{From: NodeID(i), To: NodeID(i + 1)}); ev {
+			t.Fatalf("push %d evicted before capacity", i)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len=%d want 3", w.Len())
+	}
+	// Each further push slides out the oldest arrival, in order.
+	for i := 3; i < 10; i++ {
+		old, ev := w.Push(Edge{From: NodeID(i), To: NodeID(i + 1)})
+		if !ev {
+			t.Fatalf("push %d did not evict at capacity", i)
+		}
+		want := Edge{From: NodeID(i - 3), To: NodeID(i - 2)}
+		if old != want {
+			t.Fatalf("push %d expired %v want %v", i, old, want)
+		}
+	}
+	want := []Edge{{From: 7, To: 8}, {From: 8, To: 9}, {From: 9, To: 10}}
+	if got := w.Edges(); !slices.Equal(got, want) {
+		t.Fatalf("Edges=%v want %v", got, want)
+	}
+}
+
+func TestWindowCapacityOne(t *testing.T) {
+	w := NewWindow(1)
+	if _, ev := w.Push(Edge{From: 1, To: 2}); ev {
+		t.Fatal("first push evicted")
+	}
+	old, ev := w.Push(Edge{From: 2, To: 3})
+	if !ev || old != (Edge{From: 1, To: 2}) {
+		t.Fatalf("second push expired %v evicted=%v", old, ev)
+	}
+}

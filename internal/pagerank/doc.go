@@ -42,6 +42,17 @@
 // order, stripe-consistency argument, and that relaxation are
 // docs/DESIGN.md#6-concurrency-model.
 //
+// The maintainer also consumes deletions (ApplyDeletion/ApplyEvents): the
+// reverse reroute rule captures each stored step through the removed copy
+// with probability 1/c (deterministically when it was the only copy),
+// keeps the captured step's prefix, re-steps through a uniform surviving
+// out-edge with no reset coin, and regrows the tail on the post-removal
+// graph — or truncates when the last out-edge vanished, the revival law
+// run in reverse. Deletions carry no skip coin, enumerate their candidates
+// O(hits) from the pending-position index (LegacyScan keeps the full-path
+// flavor bitwise coin-identical), and leave the arrival-path invariants
+// (SlowNoops == 0) untouched — see docs/DESIGN.md#10-deletions--windows.
+//
 // All graph access on the update path — the edge write, the degree lookup,
 // and every step of regenerated walk tails — is routed through
 // socialstore.Store, so the call accounting the paper's cost analysis is

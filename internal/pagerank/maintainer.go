@@ -65,6 +65,14 @@ type Counters struct {
 	StepsIn    int64 // visits added by reroutes, revivals, and seeding
 	StepsOut   int64 // visits removed by reroutes
 	Estimates  int64 // Estimate/ApproxAll/TopK calls served
+
+	// Deletion-path accounting. Deletions have no skip coin (no counter
+	// tracks steps through one specific edge), so they never touch the
+	// arrival counters above and cannot produce SlowNoops.
+	Deletions    int64 // edge deletions consumed
+	DelMisses    int64 // deletions of edges not present in the graph
+	DelRerouted  int64 // segments re-sampled through a surviving out-edge
+	DelTruncated int64 // segments cut short by the reverse revival (source went dangling)
 }
 
 // SkipRate returns the fraction of arrivals the fast path skipped outright.
@@ -81,21 +89,26 @@ type counters struct {
 	arrivals, fastSkips, emptySkips, slowPaths, slowNoops atomic.Int64
 	rerouted, revived, seeded, stepsIn, stepsOut          atomic.Int64
 	estimates                                             atomic.Int64
+	deletions, delMisses, delRerouted, delTruncated       atomic.Int64
 }
 
 func (c *counters) snapshot() Counters {
 	return Counters{
-		Arrivals:   c.arrivals.Load(),
-		FastSkips:  c.fastSkips.Load(),
-		EmptySkips: c.emptySkips.Load(),
-		SlowPaths:  c.slowPaths.Load(),
-		SlowNoops:  c.slowNoops.Load(),
-		Rerouted:   c.rerouted.Load(),
-		Revived:    c.revived.Load(),
-		Seeded:     c.seeded.Load(),
-		StepsIn:    c.stepsIn.Load(),
-		StepsOut:   c.stepsOut.Load(),
-		Estimates:  c.estimates.Load(),
+		Arrivals:     c.arrivals.Load(),
+		FastSkips:    c.fastSkips.Load(),
+		EmptySkips:   c.emptySkips.Load(),
+		SlowPaths:    c.slowPaths.Load(),
+		SlowNoops:    c.slowNoops.Load(),
+		Rerouted:     c.rerouted.Load(),
+		Revived:      c.revived.Load(),
+		Seeded:       c.seeded.Load(),
+		StepsIn:      c.stepsIn.Load(),
+		StepsOut:     c.stepsOut.Load(),
+		Estimates:    c.estimates.Load(),
+		Deletions:    c.deletions.Load(),
+		DelMisses:    c.delMisses.Load(),
+		DelRerouted:  c.delRerouted.Load(),
+		DelTruncated: c.delTruncated.Load(),
 	}
 }
 

@@ -19,9 +19,17 @@
 // caller redoes exactly the uncommitted work — bitwise identical to a run
 // that never crashed, under any fsync policy.
 //
+// Edge deletions get their own graph-level record: the store holds no
+// adjacency, and a deletion whose repair perturbs no stored segment would
+// otherwise leave no trace in the log. LogRemoveEdge journals a remove-edge
+// marker (replayed as a store no-op); recovery hands back the committed
+// markers since the last checkpoint as RecoveryInfo.RemovedEdges so an
+// externally rebuilt op stream can be cross-checked against what the log
+// says was deleted — docs/DESIGN.md#10-deletions--windows.
+//
 // Fsync cadence is configurable (every record, every N, on a timer, or
 // never); the fault-injection plan in this package scripts short writes,
 // flipped bytes, and ENOSPC against the same File seam the real files go
-// through, and the crash harness in cmd/benchwalk kill -9s a live storm and
-// checks recovery end to end.
+// through, and the crash harness in cmd/benchwalk kill -9s a live churn
+// storm (arrivals and deletions) and checks recovery end to end.
 package persist

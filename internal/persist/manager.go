@@ -90,6 +90,13 @@ type RecoveryInfo struct {
 	Committed bool
 	Cursor    int64
 	State     []byte
+	// RemovedEdges lists the remove-edge markers recovered from the WAL
+	// within the committed cut, in log order: the edge deletions proven
+	// durable since the last checkpoint. Deletions are graph-level — replay
+	// applies only their store-side repairs — so callers rebuilding the
+	// graph from an external op stream use this list to cross-check that the
+	// rebuilt stream agrees with what the log committed.
+	RemovedEdges []graph.Edge
 	// Elapsed is the wall-clock recovery time (load + replay + the fresh
 	// checkpoint Open finishes with).
 	Elapsed time.Duration
@@ -211,6 +218,12 @@ func Open(cfg Config) (*Manager, *walkstore.Store, RecoveryInfo, error) {
 		if r.Kind == recCommit {
 			continue
 		}
+		if r.Kind == recRemoveEdge {
+			if i < cut {
+				info.RemovedEdges = append(info.RemovedEdges, r.Edge)
+			}
+			continue
+		}
 		if i >= cut {
 			info.Discarded++
 		} else if r.Seq > info.SnapshotEpoch {
@@ -238,7 +251,7 @@ func replay(store *walkstore.Store, recs []Rec, snapEpoch int64) (err error) {
 		}
 	}()
 	for _, r := range recs {
-		if r.Kind == recCommit || r.Seq <= snapEpoch {
+		if r.Kind == recCommit || r.Kind == recRemoveEdge || r.Seq <= snapEpoch {
 			continue
 		}
 		switch r.Kind {
@@ -312,6 +325,21 @@ func (m *Manager) Commit(cursor int64, state []byte) error {
 	// Seq is stamped inside appendRec under the WAL lock (the epoch of the
 	// last mutation the marker covers).
 	return m.w.appendRec(Rec{Kind: recCommit, Cursor: cursor, State: state})
+}
+
+// LogRemoveEdge journals one graph-level edge deletion. The walk store holds
+// no adjacency, so a deletion whose repair touches no segment would otherwise
+// leave no durable trace; the marker makes every applied deletion provable at
+// recovery (RecoveryInfo.RemovedEdges). Call it after the deletion's store
+// repairs and before the covering Commit, so the marker sits inside the same
+// committed cut as its repair records.
+func (m *Manager) LogRemoveEdge(from, to graph.NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.w == nil {
+		return errors.New("persist: LogRemoveEdge on closed manager")
+	}
+	return m.w.appendRec(Rec{Kind: recRemoveEdge, Edge: graph.Edge{From: from, To: to}})
 }
 
 // Checkpoint rolls the WAL into a fresh snapshot: dump the store (fails with

@@ -1,0 +1,93 @@
+package persist
+
+import (
+	"reflect"
+	"testing"
+
+	"fastppr/internal/graph"
+)
+
+// TestRemoveEdgeRoundTrip pins the graph-level deletion marker: remove-edge
+// records interleaved with store mutations come back in log order, do not
+// count as replayed mutations, and leave the recovered store untouched.
+func TestRemoveEdgeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 3)
+	if err := m.LogRemoveEdge(10, 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LogRemoveEdge(12, 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(41, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	want := []graph.Edge{{From: 10, To: 11}, {From: 12, To: 13}}
+	if !reflect.DeepEqual(info.RemovedEdges, want) {
+		t.Fatalf("RemovedEdges=%v, want %v", info.RemovedEdges, want)
+	}
+	if info.Replayed != 3 {
+		t.Fatalf("Replayed=%d, want 3 (markers are not mutations)", info.Replayed)
+	}
+	if !info.Committed || info.Cursor != 41 || string(info.State) != "state" {
+		t.Fatalf("commit marker lost: %+v", info)
+	}
+	equalStores(t, s2, reference(t, 3))
+}
+
+// TestRemoveEdgeOutsideCommitDropped: a marker after the last commit belongs
+// to work the application never learned was durable; recovery must not report
+// it (the op will be redone from Cursor, logging it again).
+func TestRemoveEdgeOutsideCommitDropped(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 2)
+	if err := m.LogRemoveEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LogRemoveEdge(3, 4); err != nil { // uncommitted
+		t.Fatal(err)
+	}
+
+	m2, _, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	want := []graph.Edge{{From: 1, To: 2}}
+	if !reflect.DeepEqual(info.RemovedEdges, want) {
+		t.Fatalf("RemovedEdges=%v, want only the committed %v", info.RemovedEdges, want)
+	}
+}
+
+// TestCheckpointDropsRemoveEdgeMarkers: a checkpoint rolls the WAL into a
+// snapshot and truncates it, so markers only ever describe the window since
+// the last checkpoint.
+func TestCheckpointDropsRemoveEdgeMarkers(t *testing.T) {
+	dir := t.TempDir()
+	m, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	applyOps(t, s, 2)
+	if err := m.LogRemoveEdge(5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	if len(info.RemovedEdges) != 0 {
+		t.Fatalf("RemovedEdges=%v survived a checkpoint", info.RemovedEdges)
+	}
+	if !info.Committed || info.Cursor != 1 {
+		t.Fatalf("snapshot-embedded commit lost: %+v", info)
+	}
+	equalStores(t, s2, reference(t, 2))
+}

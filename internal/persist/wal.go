@@ -17,12 +17,16 @@ import (
 // record per walkstore epoch tick); Commit is an application-level marker
 // carrying an edge cursor and an opaque state blob (the maintainers store
 // their serialized update-RNG state there) so a storm can resume
-// deterministically from any durable prefix.
+// deterministically from any durable prefix. RemoveEdge is a graph-level
+// marker — the walk store holds no adjacency, so edge deletions leave no
+// mutation record of their own when they repair nothing; journaling them
+// explicitly lets recovery prove which deletions were durable.
 const (
 	recAdd byte = iota + 1
 	recReplaceTail
 	recRemove
 	recCommit
+	recRemoveEdge
 )
 
 // maxPayload caps a decoded record's declared payload size; a frame claiming
@@ -31,7 +35,8 @@ const (
 const maxPayload = 1 << 30
 
 // Rec is one decoded WAL record. Seq is the store epoch after the mutation
-// (for Commit records: the epoch of the last mutation the commit covers).
+// (for Commit and RemoveEdge records: the epoch of the last mutation before
+// them — neither advances the store epoch by itself).
 type Rec struct {
 	Seq    int64
 	Kind   byte
@@ -41,6 +46,7 @@ type Rec struct {
 	Path   []graph.NodeID // add path, or replacement tail
 	Cursor int64          // commit only
 	State  []byte         // commit only
+	Edge   graph.Edge     // remove-edge only
 }
 
 // SyncPolicy selects when the WAL is fsynced.
@@ -136,8 +142,8 @@ func (w *wal) appendRec(r Rec) error {
 	if w.err != nil {
 		return w.err
 	}
-	if r.Kind == recCommit {
-		r.Seq = w.seq // epoch of the last mutation this marker covers
+	if r.Kind == recCommit || r.Kind == recRemoveEdge {
+		r.Seq = w.seq // epoch of the last mutation before this marker
 	}
 	payload := encodeRec(r)
 	var hdr [8]byte
@@ -154,7 +160,7 @@ func (w *wal) appendRec(r Rec) error {
 	w.records++
 	w.bytes += int64(8 + len(payload))
 	w.unsynced++
-	if r.Kind != recCommit {
+	if r.Kind != recCommit && r.Kind != recRemoveEdge {
 		w.seq = r.Seq
 	}
 	switch w.cfg.Policy {
@@ -228,6 +234,9 @@ func encodeRec(r Rec) []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.Cursor))
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.State)))
 		b = append(b, r.State...)
+	case recRemoveEdge:
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.Edge.From))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.Edge.To))
 	default:
 		panic(fmt.Sprintf("persist: encoding unknown record kind %d", r.Kind))
 	}
@@ -254,6 +263,9 @@ func decodeRec(payload []byte) (Rec, error) {
 		r.Cursor = int64(rd.u64())
 		n := rd.u32()
 		r.State = append([]byte(nil), rd.bytes(int(n))...)
+	case recRemoveEdge:
+		r.Edge.From = graph.NodeID(rd.u64())
+		r.Edge.To = graph.NodeID(rd.u64())
 	default:
 		return r, fmt.Errorf("unknown record kind %d", r.Kind)
 	}

@@ -60,6 +60,18 @@
 // distributional equivalence, argued in
 // docs/DESIGN.md#6-concurrency-model.
 //
+// Deletions run the sided reverse reroute rule
+// (docs/DESIGN.md#10-deletions--windows): removing a copy of (u, v)
+// captures each stored forward step u -> v at u and each stored backward
+// step v -> u at v with probability 1/c over the pre-removal multiplicity,
+// re-steps captures through a surviving out-edge of u (forward) or in-edge
+// of v (backward), and truncates when none survive — the asymmetric
+// revival law in reverse. The backward phase runs second and excludes the
+// positions the forward phase just regenerated; both hold the same
+// endpoint stripe pair as arrivals, so the multiplicity and degree reads
+// stay exact under parallel churn, and the arrival observer fires after a
+// deletion's effects exactly as after an arrival's.
+//
 // # Personalized queries
 //
 // Personalized(source) runs QueryWalks alternating walks from the source,

@@ -81,6 +81,15 @@ type Counters struct {
 	StepsIn    int64 // visits added by reroutes, revivals, and seeding
 	StepsOut   int64 // visits removed by reroutes
 	Queries    int64 // personalized queries served
+
+	// Deletion-path accounting. Deletions have no skip coin (no counter
+	// tracks steps through one specific edge), so they never touch the
+	// arrival counters above — the FastSkips+EmptySkips+SlowPaths ==
+	// 2*Arrivals identity and SlowNoops == 0 both survive churn streams.
+	Deletions    int64 // edge deletions consumed
+	DelMisses    int64 // deletions of edges not present in the graph
+	DelRerouted  int64 // segments re-sampled through a surviving edge (either side)
+	DelTruncated int64 // segments cut short by a reverse revival (either side)
 }
 
 // SkipRate returns the fraction of repair phases the fast path skipped
@@ -98,21 +107,26 @@ type counters struct {
 	arrivals, fastSkips, emptySkips, slowPaths, slowNoops atomic.Int64
 	rerouted, revived, seeded, stepsIn, stepsOut          atomic.Int64
 	queries                                               atomic.Int64
+	deletions, delMisses, delRerouted, delTruncated       atomic.Int64
 }
 
 func (c *counters) snapshot() Counters {
 	return Counters{
-		Arrivals:   c.arrivals.Load(),
-		FastSkips:  c.fastSkips.Load(),
-		EmptySkips: c.emptySkips.Load(),
-		SlowPaths:  c.slowPaths.Load(),
-		SlowNoops:  c.slowNoops.Load(),
-		Rerouted:   c.rerouted.Load(),
-		Revived:    c.revived.Load(),
-		Seeded:     c.seeded.Load(),
-		StepsIn:    c.stepsIn.Load(),
-		StepsOut:   c.stepsOut.Load(),
-		Queries:    c.queries.Load(),
+		Arrivals:     c.arrivals.Load(),
+		FastSkips:    c.fastSkips.Load(),
+		EmptySkips:   c.emptySkips.Load(),
+		SlowPaths:    c.slowPaths.Load(),
+		SlowNoops:    c.slowNoops.Load(),
+		Rerouted:     c.rerouted.Load(),
+		Revived:      c.revived.Load(),
+		Seeded:       c.seeded.Load(),
+		StepsIn:      c.stepsIn.Load(),
+		StepsOut:     c.stepsOut.Load(),
+		Queries:      c.queries.Load(),
+		Deletions:    c.deletions.Load(),
+		DelMisses:    c.delMisses.Load(),
+		DelRerouted:  c.delRerouted.Load(),
+		DelTruncated: c.delTruncated.Load(),
 	}
 }
 
@@ -201,19 +215,24 @@ type Maintainer struct {
 	segMu *stripes.MutexSet
 	cnt   counters
 
-	// arrivalObs, when set, is called after each arrival's repair completes
-	// (edge written, both repair phases done, endpoints seeded). Under
-	// UpdateWorkers > 1 it is called concurrently from every worker; the
-	// observer must be safe for that. See SetArrivalObserver.
+	// arrivalObs, when set, is called after each graph mutation's repair
+	// completes — arrivals (edge written, both repair phases done, endpoints
+	// seeded) and deletions (edge removed, both unroute phases done) alike.
+	// Under UpdateWorkers > 1 it is called concurrently from every worker;
+	// the observer must be safe for that. See SetArrivalObserver.
 	arrivalObs func(graph.Edge)
 }
 
-// SetArrivalObserver registers f to run after every arrival finishes its
-// repair. The serving tier uses it to advance its per-stripe edge revisions:
-// a graph change can alter query results without any walk-store mutation
-// (both repair phases may fast-skip), so walk-store epochs alone cannot
-// invalidate cached results. Set it before the first ApplyEdge; under
-// UpdateWorkers > 1 the observer runs concurrently from every worker.
+// SetArrivalObserver registers f to run after every graph mutation —
+// arrival or deletion — finishes its repair. The serving tier uses it to
+// advance its per-stripe edge revisions: a graph change can alter query
+// results without any walk-store mutation (an arrival's repair phases may
+// fast-skip; a deletion may capture no stored step), so walk-store epochs
+// alone cannot invalidate cached results. The observer receives the mutated
+// edge; it is not told whether the mutation added or removed it, because
+// invalidation only needs the endpoints. Set it before the first
+// ApplyEdge/ApplyDeletion; under UpdateWorkers > 1 the observer runs
+// concurrently from every worker.
 func (m *Maintainer) SetArrivalObserver(f func(graph.Edge)) { m.arrivalObs = f }
 
 // New returns a maintainer over the social store's graph with an empty walk

@@ -7,9 +7,11 @@
 // QueryStats.StripeMask bitmap over the walk store's counter stripes — and
 // stays valid while every masked stripe holds both its per-stripe
 // walk-store epoch (walkstore.StripeEpoch) and the tier's per-stripe edge
-// revision, bumped by the maintainer's arrival observer. The two stamps
-// together cover every way a result can change: walk-store mutations and
-// graph arrivals whose repair fast-skipped the store. A hit costs zero
+// revision, bumped by the maintainer's arrival observer — which fires for
+// deletions exactly as for arrivals
+// (docs/DESIGN.md#10-deletions--windows). The two stamps together cover
+// every way a result can change: walk-store mutations and graph arrivals
+// or deletions whose repair never touched the store. A hit costs zero
 // Social Store calls, so the paper's Theorem 8 ceiling bounds every served
 // query: misses by the query layer's own session accounting, hits
 // trivially.

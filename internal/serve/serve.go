@@ -90,8 +90,9 @@ type flight struct {
 
 // Server is the query-serving tier in front of a salsa.Maintainer: an
 // epoch-keyed result cache plus same-source singleflight batching. Route
-// arrivals through ApplyEdge/ApplyEdges (or install the arrival observer by
-// constructing the Server before the first arrival) so graph changes
+// arrivals and deletions through ApplyEdge/ApplyEdges/ApplyDeletion/
+// ApplyDeletions/ApplyEvents (or install the arrival observer by
+// constructing the Server before the first mutation) so graph changes
 // invalidate cached results even when the repair fast path leaves the walk
 // store untouched.
 type Server struct {
@@ -99,12 +100,12 @@ type Server struct {
 	walks *walkstore.Store
 	cfg   Config
 
-	// edgeRevs[i] counts completed arrivals touching an endpoint in stripe
-	// i. The walk store's per-stripe epochs miss arrivals whose repair
-	// phases fast-skip (a degree change with no stored step to perturb
-	// mutates nothing), so the cache key needs this second, graph-side
-	// stamp; the maintainer's arrival observer bumps it after the
-	// arrival's effects are visible.
+	// edgeRevs[i] counts completed arrivals and deletions touching an
+	// endpoint in stripe i. The walk store's per-stripe epochs miss
+	// mutations whose repair phases fast-skip or miss (a degree change
+	// with no stored step to perturb mutates nothing), so the cache key
+	// needs this second, graph-side stamp; the maintainer's arrival
+	// observer bumps it after the mutation's effects are visible.
 	edgeRevs [walkstore.StripeCount]atomic.Int64
 
 	mu     sync.Mutex
@@ -143,6 +144,21 @@ func (s *Server) ApplyEdge(ed graph.Edge) { s.m.ApplyEdge(ed) }
 
 // ApplyEdges routes a batch of arrivals through the maintainer.
 func (s *Server) ApplyEdges(edges []graph.Edge) { s.m.ApplyEdges(edges) }
+
+// ApplyDeletion routes one edge deletion through the maintainer. The
+// maintainer fires the arrival observer for deletions exactly as for
+// arrivals, so cached results whose stripe masks cover either endpoint
+// invalidate even when the repair perturbs no stored step (a degree
+// change alone reshapes future queries). A DelMiss — deleting an edge
+// not in the graph — mutates nothing and leaves the cache intact.
+func (s *Server) ApplyDeletion(ed graph.Edge) { s.m.ApplyDeletion(ed) }
+
+// ApplyDeletions routes a batch of edge deletions through the maintainer.
+func (s *Server) ApplyDeletions(edges []graph.Edge) { s.m.ApplyDeletions(edges) }
+
+// ApplyEvents routes a mixed arrival/deletion stream through the
+// maintainer, preserving stream order.
+func (s *Server) ApplyEvents(events []graph.Event) { s.m.ApplyEvents(events) }
 
 // valid reports whether e may still be served: no masked stripe has moved
 // its walk-store epoch or its edge revision since e's compute was stamped.

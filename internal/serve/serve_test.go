@@ -97,10 +97,11 @@ func TestHitIsBitwiseRecompute(t *testing.T) {
 	}
 }
 
-// TestStalenessFuzz randomly interleaves arrivals and served queries
-// (serialized, so the check can be exact): every served result — hit or
-// miss — must be bitwise identical to a fresh recompute on its stream at
-// the moment it was served, and the run must actually exercise hits.
+// TestStalenessFuzz randomly interleaves churn — arrivals AND deletions —
+// with served queries (serialized, so the check can be exact): every served
+// result — hit or miss — must be bitwise identical to a fresh recompute on
+// its stream at the moment it was served, and the run must actually
+// exercise hits, invalidations, and deletions.
 func TestStalenessFuzz(t *testing.T) {
 	n, m, iters := 150, 2000, 400
 	if testing.Short() {
@@ -109,13 +110,16 @@ func TestStalenessFuzz(t *testing.T) {
 	cfg := salsa.Config{Eps: 0.2, R: 5, Workers: 1, Seed: 57, QueryWalks: 64}
 	s, storm := newServer(t, n, m, cfg, Config{})
 	mt := s.Maintainer()
+	// Fold the remaining arrivals into a shrink-grow churn stream so the
+	// racing mutations include edge deletions, not just growth.
+	events := gen.ShrinkGrowStream(storm, 5, 0.3, rand.New(rand.NewPCG(59, 0)))
 	rng := rand.New(rand.NewPCG(58, 0))
 	next := 0
 	for it := 0; it < iters; it++ {
-		if rng.IntN(3) == 0 && next < len(storm) {
-			// A small burst of arrivals.
-			k := min(1+rng.IntN(8), len(storm)-next)
-			s.ApplyEdges(storm[next : next+k])
+		if rng.IntN(3) == 0 && next < len(events) {
+			// A small burst of churn.
+			k := min(1+rng.IntN(8), len(events)-next)
+			s.ApplyEvents(events[next : next+k])
 			next += k
 			continue
 		}
@@ -136,15 +140,89 @@ func TestStalenessFuzz(t *testing.T) {
 	if st.Misses == 0 || st.Invalidated == 0 {
 		t.Fatalf("fuzz run did not exercise invalidation: %+v", st)
 	}
+	cnt := mt.Counters()
+	if cnt.Deletions == 0 {
+		t.Fatalf("fuzz run applied no deletions: %+v", cnt)
+	}
+	if cnt.DelMisses != 0 {
+		t.Fatalf("serialized shrink-grow stream missed %d deletions", cnt.DelMisses)
+	}
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeletionInvalidatesOverlappingCache is the deterministic deletion
+// staleness law: a cached result whose stripe mask overlaps a deletion's
+// endpoints must miss, while deletions whose endpoints land wholly outside
+// the mask — and DelMiss no-ops — must leave the hit intact. Two disjoint
+// 3-cycles on node IDs chosen so one lives entirely in stripe 0 and the
+// other entirely in stripe 1 (stripes key on the ID's low six bits).
+func TestDeletionInvalidatesOverlappingCache(t *testing.T) {
+	g := graph.New(130)
+	compA := []graph.NodeID{0, 64, 128} // all stripe 0
+	compB := []graph.NodeID{1, 65, 129} // all stripe 1
+	for _, v := range append(append([]graph.NodeID{}, compA...), compB...) {
+		g.AddNode(v)
+	}
+	cfg := salsa.Config{Eps: 0.2, R: 8, Workers: 1, Seed: 101, QueryWalks: 64}
+	mt := salsa.New(socialstore.New(g), cfg)
+	s := New(mt, Config{})
+	mt.Bootstrap()
+	for _, comp := range [][]graph.NodeID{compA, compB} {
+		for i, u := range comp {
+			v := comp[(i+1)%len(comp)]
+			s.ApplyEdge(graph.Edge{From: u, To: v})
+			s.ApplyEdge(graph.Edge{From: v, To: u})
+		}
+	}
+
+	cold := s.Personalized(0)
+	if cold.Hit {
+		t.Fatal("cold lookup hit")
+	}
+	mask := cold.Query.Stats().StripeMask
+	if mask&1 == 0 || mask&2 != 0 {
+		t.Fatalf("component-A query mask %#x should cover stripe 0 and not stripe 1", mask)
+	}
+
+	// A deletion entirely outside the mask must not invalidate.
+	s.ApplyDeletion(graph.Edge{From: 1, To: 65})
+	if res := s.Personalized(0); !res.Hit {
+		t.Fatal("deletion outside the stripe mask invalidated the cache")
+	}
+	// A DelMiss touching a masked stripe mutates nothing: still a hit.
+	s.ApplyDeletion(graph.Edge{From: 0, To: 3})
+	if res := s.Personalized(0); !res.Hit {
+		t.Fatal("DelMiss no-op invalidated the cache")
+	}
+	// A live deletion overlapping the mask must kill the entry.
+	s.ApplyDeletion(graph.Edge{From: 0, To: 64})
+	res := s.Personalized(0)
+	if res.Hit {
+		t.Fatal("cached result survived a deletion inside its stripe mask")
+	}
+	if !sameQuery(res.Query, mt.PersonalizedStream(0, res.Stream)) {
+		t.Fatal("post-deletion recompute diverges from fresh recompute on its stream")
+	}
+	st := s.Stats()
+	if st.Invalidated == 0 {
+		t.Fatalf("overlapping deletion not accounted as invalidation: %+v", st)
+	}
+	cnt := mt.Counters()
+	if cnt.Deletions != 3 || cnt.DelMisses != 1 {
+		t.Fatalf("deletion accounting: %+v, want 3 deletions / 1 miss", cnt)
+	}
 	if err := mt.Store().Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestServeRacingStorm is the -race stress: queriers hammer a hot-spot
-// source mix while a storm applies arrivals concurrently. Asserted:
-// clean Validate at the end, hit accounting consistent, every hit's query
-// object still internally coherent (scores sum to ~1).
+// source mix while a churn storm applies arrivals and deletions
+// concurrently. Asserted: clean Validate at the end, hit accounting
+// consistent, every hit's query object still internally coherent
+// (scores sum to ~1).
 func TestServeRacingStorm(t *testing.T) {
 	n, m := 150, 3000
 	queriers, perQ := 3, 60
@@ -153,12 +231,13 @@ func TestServeRacingStorm(t *testing.T) {
 	}
 	cfg := salsa.Config{Eps: 0.2, R: 5, Workers: 1, Seed: 61, QueryWalks: 64}
 	s, storm := newServer(t, n, m, cfg, Config{})
+	events := gen.ShrinkGrowStream(storm, 4, 0.25, rand.New(rand.NewPCG(62, 0)))
 	var wg sync.WaitGroup
 	var served atomic.Int64
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.ApplyEdges(storm)
+		s.ApplyEvents(events)
 	}()
 	for w := 0; w < queriers; w++ {
 		wg.Add(1)
@@ -195,6 +274,9 @@ func TestServeRacingStorm(t *testing.T) {
 	}
 	if err := s.Maintainer().Store().Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if cnt := s.Maintainer().Counters(); cnt.Deletions == 0 {
+		t.Fatalf("racing storm applied no deletions: %+v", cnt)
 	}
 	// Quiet now: every source must be servable and bitwise-checkable again.
 	res := s.Personalized(3)

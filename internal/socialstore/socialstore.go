@@ -95,6 +95,14 @@ func (s *Store) RemoveEdge(u, v graph.NodeID) bool {
 	return s.g.RemoveEdge(u, v)
 }
 
+// CountEdges reads the multiplicity of u -> v (one store call, charged to
+// u's shard). The deletion repair rule reads it right after RemoveEdge to
+// recover the pre-removal copy count.
+func (s *Store) CountEdges(u, v graph.NodeID) int {
+	s.countRead(u)
+	return s.g.CountEdges(u, v)
+}
+
 // OutNeighbors reads v's out-adjacency list (one store call).
 func (s *Store) OutNeighbors(v graph.NodeID) []graph.NodeID {
 	s.countRead(v)

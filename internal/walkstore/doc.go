@@ -91,4 +91,11 @@
 // maintainer stores alternating walks. An optional observer receives every
 // visit mutation so callers can maintain further derived counters without a
 // second index.
+//
+// Under churn (docs/DESIGN.md#10-deletions--windows) the same machinery
+// runs in reverse: deletion repairs enumerate the stored steps through the
+// removed edge from the pending-position buckets in O(hits), and
+// ValidateSteps checks the edge-consistency invariant a shrink leaves
+// behind — no stored step may traverse an edge missing from the graph,
+// with backward (sided) steps checked against the transposed adjacency.
 package walkstore

@@ -1299,6 +1299,45 @@ func (s *Store) Validate() error {
 	return nil
 }
 
+// ValidateSteps checks every stored step against the caller's edge
+// predicate: step pos -> pos+1 of an unsided or forward-pending position must
+// traverse an edge path[pos] -> path[pos+1] of the caller's graph, a
+// backward-pending step the reverse edge. This is the deletion-path
+// invariant — after any sequence of arrivals and deletions, no stored walk
+// may traverse an edge that no longer exists (the reverse reroute rule
+// resamples with probability 1 when the last copy of an edge goes away).
+// Like Validate it requires quiescence and fails with ErrConcurrentMutation
+// on a raced pass. O(total path length) plus one predicate call per step;
+// for tests.
+func (s *Store) ValidateSteps(hasEdge func(from, to graph.NodeID) bool) error {
+	s.segMu.RLock()
+	defer s.segMu.RUnlock()
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+		defer s.stripes[i].mu.RUnlock()
+	}
+	if n := s.mutators.Load(); n != 0 {
+		return fmt.Errorf("%w: %d segment mutations in flight", ErrConcurrentMutation, n)
+	}
+	for i := range s.segs {
+		r := s.segs[i]
+		if !r.live {
+			continue
+		}
+		p := s.pathLocked(r)
+		for pos := 0; pos < len(p)-1; pos++ {
+			from, to := p[pos], p[pos+1]
+			if r.side >= 0 && r.side.PendingAt(pos) == SideBackward {
+				from, to = to, from
+			}
+			if !hasEdge(from, to) {
+				return fmt.Errorf("walkstore: segment %d step %d traverses missing edge %d->%d", i, pos, from, to)
+			}
+		}
+	}
+	return nil
+}
+
 // validatePosIndex cross-checks one node's pending-position bucket against
 // the full-path recount: exact entry set, representation exclusivity, and
 // sorted/duplicate-free invariants in both representations.
