@@ -22,6 +22,18 @@
 // sliding window at a capacity below the stream length so expiring edges
 // exercise the deletion path continuously.
 //
+// The arrival stream's shape is selectable with -workload: uniform (the
+// default random-pair mix), poisson-burst (temporally clumped arrivals
+// sharing a source), bipartite (follower-graph hub->authority arrivals with
+// a Zipf popularity law), or power-law (Zipf-skewed endpoints on both
+// sides). The adversarial section (-adversarial, on by default) additionally
+// replays all three adversarial shapes through the serialized SALSA
+// maintainer so one report carries columns for every workload. -compactevery N
+// triggers walk-arena compaction every N updates inside the maintainers and
+// the window driver; the arena live/total/garbage columns record what it
+// reclaimed, and -verify bounds the post-storm garbage ratio whenever the
+// report was taken with compaction on.
+//
 // The durability sweep (-wal) replays a serialized pagerank storm with every
 // walk-store mutation journaled through internal/persist at each fsync
 // policy, commits a marker per edge, and times a cold recovery. The crash
@@ -99,6 +111,9 @@ type maintainerResult struct {
 	Revived       int64   `json:"revived_segments"`
 	StoreReads    int64   `json:"store_reads"`
 	StoreWrites   int64   `json:"store_writes"`
+	ArenaLive     int64   `json:"arena_live_slots"`
+	ArenaTotal    int64   `json:"arena_total_slots"`
+	ArenaGarbage  float64 `json:"arena_garbage_ratio"`
 }
 
 // salsaResult reports one SALSA maintainer storm replay and (on the last
@@ -128,6 +143,27 @@ type salsaResult struct {
 	MaxStoreCalls    int64   `json:"max_store_calls_per_query,omitempty"`
 	Theorem8Bound    float64 `json:"theorem8_bound_per_query,omitempty"`
 	MeanStitched     float64 `json:"mean_stitched_segments_per_query,omitempty"`
+	ArenaLive        int64   `json:"arena_live_slots"`
+	ArenaTotal       int64   `json:"arena_total_slots"`
+	ArenaGarbage     float64 `json:"arena_garbage_ratio"`
+}
+
+// adversarialResult reports one adversarial-workload replay: the named
+// arrival stream consumed through the serialized SALSA maintainer, with the
+// arena columns showing what the stream's churn left behind (or what
+// -compactevery reclaimed).
+type adversarialResult struct {
+	Workload     string  `json:"workload"`
+	Seconds      float64 `json:"seconds"`
+	Edges        int     `json:"edges"`
+	EdgesPerSec  float64 `json:"edges_per_sec"`
+	SkipRate     float64 `json:"skip_rate"`
+	SlowNoops    int64   `json:"slow_noops"`
+	Rerouted     int64   `json:"rerouted_segments"`
+	Revived      int64   `json:"revived_segments"`
+	ArenaLive    int64   `json:"arena_live_slots"`
+	ArenaTotal   int64   `json:"arena_total_slots"`
+	ArenaGarbage float64 `json:"arena_garbage_ratio"`
 }
 
 // concurrentQueryResult profiles personalized queries racing a parallel
@@ -225,6 +261,9 @@ type windowResult struct {
 	Rerouted     int64   `json:"expiry_rerouted_segments"`
 	Truncated    int64   `json:"expiry_truncated_segments"`
 	DeleteMissed int     `json:"delete_missed"`
+	ArenaLive    int64   `json:"arena_live_slots"`
+	ArenaTotal   int64   `json:"arena_total_slots"`
+	ArenaGarbage float64 `json:"arena_garbage_ratio"`
 }
 
 // churnReport groups the -churn profile: maintainer churn storms per
@@ -235,17 +274,21 @@ type churnReport struct {
 }
 
 type report struct {
-	Timestamp    string      `json:"timestamp"`
-	GoVersion    string      `json:"go_version"`
-	GOMAXPROCS   int         `json:"gomaxprocs"`
-	NumCPU       int         `json:"num_cpu"`
-	GOGC         int         `json:"gogc,omitempty"`
-	Nodes        int         `json:"nodes"`
-	EdgesPerNode int         `json:"edges_per_node"`
-	GraphEdges   int         `json:"graph_edges"`
-	R            int         `json:"segments_per_node"`
-	Eps          float64     `json:"eps"`
-	Seed         uint64      `json:"seed"`
+	Timestamp    string  `json:"timestamp"`
+	GoVersion    string  `json:"go_version"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"num_cpu"`
+	GOGC         int     `json:"gogc,omitempty"`
+	Nodes        int     `json:"nodes"`
+	EdgesPerNode int     `json:"edges_per_node"`
+	GraphEdges   int     `json:"graph_edges"`
+	R            int     `json:"segments_per_node"`
+	Eps          float64 `json:"eps"`
+	Seed         uint64  `json:"seed"`
+	// Workload names the arrival-stream shape of the main storm (-workload);
+	// CompactEvery is the maintainers' arena-compaction period (0 = off).
+	Workload     string      `json:"workload,omitempty"`
+	CompactEvery int         `json:"compact_every,omitempty"`
 	Runs         []runResult `json:"runs"`
 	// SpeedupBuild is max-worker build throughput over the 1-worker run —
 	// only meaningful when num_cpu > 1; the recorded core count makes a
@@ -273,6 +316,10 @@ type report struct {
 	// storm, then cold-vs-hit timing on the settled store (absent with
 	// -salsa=false or -queries 0).
 	ServeQueries *serveResult `json:"serve_queries,omitempty"`
+	// AdversarialStorms replays the three adversarial arrival workloads
+	// through the serialized SALSA maintainer (absent with -adversarial=false
+	// or -salsa=false).
+	AdversarialStorms []adversarialResult `json:"adversarial_storms,omitempty"`
 	// Churn is the -churn profile: shrink-grow deletion storms through both
 	// maintainers plus the sliding-window driver (absent with -churn=false).
 	Churn *churnReport `json:"churn,omitempty"`
@@ -300,6 +347,9 @@ func main() {
 		mstorm   = flag.Bool("maintstorm", true, "replay the storm through the incremental maintainer (skip rate + store calls)")
 		dosalsa  = flag.Bool("salsa", true, "replay the storm through the SALSA maintainer and profile personalized queries")
 		dochurn  = flag.Bool("churn", true, "replay a shrink-grow churn stream (arrivals + deletions) through both maintainers and the sliding-window driver")
+		workload = flag.String("workload", "uniform", "arrival stream shape: uniform, poisson-burst, bipartite, power-law")
+		doadv    = flag.Bool("adversarial", true, "replay the three adversarial arrival workloads through the serialized SALSA maintainer")
+		compactN = flag.Int("compactevery", 0, "trigger walk-arena compaction every N updates in the maintainers and window driver (0 disables)")
 		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile (0 skips the query profiles)")
 		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 		verify   = flag.String("verify", "", "validate an existing report JSON (parses, non-zero throughputs) and exit")
@@ -352,6 +402,14 @@ func main() {
 	}
 	if *gogc < 0 {
 		fmt.Fprintf(os.Stderr, "benchwalk: -gogc must be >= 0 (0 leaves the runtime default), got %d\n", *gogc)
+		os.Exit(2)
+	}
+	if *compactN < 0 {
+		fmt.Fprintf(os.Stderr, "benchwalk: -compactevery must be >= 0, got %d\n", *compactN)
+		os.Exit(2)
+	}
+	if !slices.Contains(workloadNames, *workload) {
+		fmt.Fprintf(os.Stderr, "benchwalk: unknown -workload %q (want one of %s)\n", *workload, strings.Join(workloadNames, ", "))
 		os.Exit(2)
 	}
 	if *gogc > 0 {
@@ -416,7 +474,7 @@ func main() {
 	rng := rand.New(rand.NewPCG(*seed, 0))
 	base := gen.PreferentialAttachment(*n, *d, rng)
 	nodes := base.Nodes()
-	storm := updateStorm(*n, *updates, rng)
+	storm := makeStorm(*workload, *n, *updates, rng)
 
 	rep := report{
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
@@ -430,6 +488,8 @@ func main() {
 		R:            *r,
 		Eps:          *eps,
 		Seed:         *seed,
+		Workload:     *workload,
+		CompactEvery: *compactN,
 	}
 
 	for _, w := range counts {
@@ -451,7 +511,7 @@ func main() {
 	if *mstorm {
 		for _, uw := range ucounts {
 			bailIfInterrupted(nil)
-			res := benchMaintainer(base, storm, *r, *eps, *seed, uw)
+			res := benchMaintainer(base, storm, *r, *eps, *seed, uw, *compactN)
 			rep.MaintainerStorms = append(rep.MaintainerStorms, res)
 			fmt.Printf("maintainer storm uw=%-2d %7.3fs (%.0f edges/s)   skip %.1f%% (fast %d, empty %d, slow %d, noop %d)   store reads %d writes %d\n",
 				uw, res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.FastSkips, res.EmptySkips, res.SlowPaths,
@@ -471,7 +531,7 @@ func main() {
 			if i == len(ucounts)-1 {
 				profile = *queries // query profile once, on the final store
 			}
-			res := benchSalsa(base, storm, *r, *eps, *seed, profile, *qwalks, uw, false)
+			res := benchSalsa(base, storm, *r, *eps, *seed, profile, *qwalks, uw, false, *compactN)
 			rep.SalsaStorms = append(rep.SalsaStorms, res)
 			fmt.Printf("salsa storm uw=%-2d      %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived, %d noop)\n",
 				uw, res.StormSeconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived, res.SlowNoops)
@@ -488,7 +548,7 @@ func main() {
 		}
 		// Indexed-vs-scan comparison: the same serialized storm with the
 		// pending-position index bypassed (full-path candidate enumeration).
-		legacy := benchSalsa(base, storm, *r, *eps, *seed, 0, *qwalks, ucounts[0], true)
+		legacy := benchSalsa(base, storm, *r, *eps, *seed, 0, *qwalks, ucounts[0], true, *compactN)
 		legacy.LegacyScan = true
 		rep.SalsaStorms = append(rep.SalsaStorms, legacy)
 		fmt.Printf("salsa storm uw=%-2d scan %7.3fs (%.0f edges/s)   [legacy full-path scan]\n",
@@ -513,9 +573,20 @@ func main() {
 		}
 	}
 
+	if *doadv && *dosalsa {
+		for _, name := range workloadNames[1:] { // skip uniform: that is the main storm
+			bailIfInterrupted(nil)
+			res := benchAdversarial(base, name, *n, *updates, *r, *eps, *seed, *compactN)
+			rep.AdversarialStorms = append(rep.AdversarialStorms, res)
+			fmt.Printf("adversarial %-13s %7.3fs (%.0f edges/s)   skip %.1f%% (%d rerouted, %d revived, %d noop)   arena %d/%d (%.0f%% garbage)\n",
+				res.Workload, res.Seconds, res.EdgesPerSec, 100*res.SkipRate, res.Rerouted, res.Revived, res.SlowNoops,
+				res.ArenaLive, res.ArenaTotal, 100*res.ArenaGarbage)
+		}
+	}
+
 	if *dochurn {
 		bailIfInterrupted(nil)
-		ch := benchChurn(base, storm, *r, *eps, *seed, ucounts)
+		ch := benchChurn(base, storm, *r, *eps, *seed, ucounts, *compactN)
 		rep.Churn = &ch
 		for _, cs := range ch.Storms {
 			fmt.Printf("churn storm %-8s uw=%-2d %7.3fs (%.0f events/s, %.0f deletes/s; %d deletions, %d missed, %d rerouted, %d truncated)\n",
@@ -691,6 +762,25 @@ func verifyReport(path string) error {
 			return fmt.Errorf("%s: maintainer storm at uw=%d broke the SlowNoops == 0 invariant (%d)", path, m.UpdateWorkers, m.SlowNoops)
 		}
 	}
+	// The garbage-ratio bound -compactevery promises: every arena column in a
+	// compacting report must show the maintainers actually reclaiming
+	// ReplaceTail churn rather than accumulating it.
+	const maxGarbage = 0.5
+	checkArena := func(where string, live, total int64, garbage float64) error {
+		if live < 0 || total < live {
+			return fmt.Errorf("%s: %s has incoherent arena stats (live=%d total=%d)", path, where, live, total)
+		}
+		if rep.CompactEvery > 0 && garbage > maxGarbage {
+			return fmt.Errorf("%s: %s ended with %.0f%% arena garbage despite compact_every=%d (bound %.0f%%)",
+				path, where, 100*garbage, rep.CompactEvery, 100*maxGarbage)
+		}
+		return nil
+	}
+	for _, m := range rep.MaintainerStorms {
+		if err := checkArena(fmt.Sprintf("maintainer storm at uw=%d", m.UpdateWorkers), m.ArenaLive, m.ArenaTotal, m.ArenaGarbage); err != nil {
+			return err
+		}
+	}
 	for _, s := range rep.SalsaStorms {
 		if s.EdgesPerSec <= 0 {
 			return fmt.Errorf("%s: salsa storm at uw=%d has non-positive throughput", path, s.UpdateWorkers)
@@ -698,11 +788,31 @@ func verifyReport(path string) error {
 		if s.SlowNoops != 0 {
 			return fmt.Errorf("%s: salsa storm at uw=%d broke the SlowNoops == 0 invariant (%d)", path, s.UpdateWorkers, s.SlowNoops)
 		}
+		if err := checkArena(fmt.Sprintf("salsa storm at uw=%d", s.UpdateWorkers), s.ArenaLive, s.ArenaTotal, s.ArenaGarbage); err != nil {
+			return err
+		}
 		// The paper's headline cost bound, asserted on the measured report:
 		// no profiled query may exceed its Theorem 8 ceiling.
 		if s.Queries > 0 && float64(s.MaxStoreCalls) > s.Theorem8Bound {
 			return fmt.Errorf("%s: salsa query profile at uw=%d exceeds the Theorem 8 ceiling (%d calls > %.0f)",
 				path, s.UpdateWorkers, s.MaxStoreCalls, s.Theorem8Bound)
+		}
+	}
+	// The index's headline win is a regression guard: a report that records
+	// the indexed-vs-scan comparison at all must show the index ahead.
+	if rep.SpeedupIndexVsScan > 0 && rep.SpeedupIndexVsScan < 1 {
+		return fmt.Errorf("%s: pending-position index is SLOWER than the legacy full-path scan (%.2fx, want >= 1x)",
+			path, rep.SpeedupIndexVsScan)
+	}
+	for _, a := range rep.AdversarialStorms {
+		if a.EdgesPerSec <= 0 {
+			return fmt.Errorf("%s: adversarial storm %q has non-positive throughput", path, a.Workload)
+		}
+		if a.SlowNoops != 0 {
+			return fmt.Errorf("%s: adversarial storm %q broke the SlowNoops == 0 invariant (%d)", path, a.Workload, a.SlowNoops)
+		}
+		if err := checkArena(fmt.Sprintf("adversarial storm %q", a.Workload), a.ArenaLive, a.ArenaTotal, a.ArenaGarbage); err != nil {
+			return err
 		}
 	}
 	if cq := rep.ConcurrentQueries; cq != nil && cq.Queries > 0 {
@@ -773,6 +883,9 @@ func verifyReport(path string) error {
 			if w.DeleteMissed != 0 {
 				return fmt.Errorf("%s: window profile lost track of %d windowed edges", path, w.DeleteMissed)
 			}
+			if err := checkArena("window profile", w.ArenaLive, w.ArenaTotal, w.ArenaGarbage); err != nil {
+				return err
+			}
 		}
 	}
 	for _, dr := range rep.Durability {
@@ -825,9 +938,9 @@ func benchOne(base *graph.Graph, nodes []graph.NodeID, storm []graph.Edge, r int
 // private clone of the graph, timing only the arrival loop. The metrics are
 // reset after bootstrap so the report isolates the incremental phase the
 // paper's cost analysis is about.
-func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, uw int) maintainerResult {
+func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, uw, compactEvery int) maintainerResult {
 	soc := socialstore.New(base.Clone())
-	mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
+	mt := pagerank.New(soc, pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw, CompactEvery: compactEvery})
 	mt.Bootstrap()
 	soc.ResetMetrics()
 
@@ -851,19 +964,31 @@ func benchMaintainer(base *graph.Graph, storm []graph.Edge, r int, eps float64, 
 		StoreReads:    met.Reads,
 		StoreWrites:   met.Writes,
 	}
+	res.ArenaLive, res.ArenaTotal, res.ArenaGarbage = arenaColumns(mt.Store())
 	if s := el.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(len(storm)) / s
 	}
 	return res
 }
 
+// arenaColumns snapshots the walk store's arena occupancy for a report row:
+// live slots, total slots, and the garbage fraction ReplaceTail churn left
+// behind (or compaction reclaimed).
+func arenaColumns(s *walkstore.Store) (live, total int64, garbage float64) {
+	live, total = s.ArenaStats()
+	if total > 0 {
+		garbage = float64(total-live) / float64(total)
+	}
+	return live, total, garbage
+}
+
 // benchSalsa replays the storm through the SALSA maintainer on a private
 // clone, then (when queries > 0) profiles personalized queries from random
 // sources: wall-clock latency and the measured Social Store calls per query
 // against the Theorem 8 accounting ceiling.
-func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int, legacyScan bool) salsaResult {
+func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, queries, qwalks, uw int, legacyScan bool, compactEvery int) salsaResult {
 	soc := socialstore.New(base.Clone())
-	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw, LegacyScan: legacyScan})
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, QueryWalks: qwalks, UpdateWorkers: uw, LegacyScan: legacyScan, CompactEvery: compactEvery})
 	t0 := time.Now()
 	mt.Bootstrap()
 	boot := time.Since(t0)
@@ -886,6 +1011,7 @@ func benchSalsa(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 		Queries:          queries,
 		QueryWalks:       qwalks,
 	}
+	res.ArenaLive, res.ArenaTotal, res.ArenaGarbage = arenaColumns(mt.Store())
 	if s := storming.Seconds(); s > 0 {
 		res.EdgesPerSec = float64(len(storm)) / s
 	}
@@ -1156,6 +1282,44 @@ func benchServe(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 	return res
 }
 
+// benchAdversarial replays one named adversarial arrival workload through
+// the serialized SALSA maintainer on a private clone — the apples-to-apples
+// throughput columns across stream shapes that the batching work is judged
+// on. A fresh stream is drawn per workload from a name-salted seed so the
+// shapes do not share arrival sequences.
+func benchAdversarial(base *graph.Graph, name string, n, m, r int, eps float64, seed uint64, compactEvery int) adversarialResult {
+	var salt uint64
+	for i, ch := range []byte(name) {
+		salt += uint64(ch) << (i % 8)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xadd+salt))
+	storm := makeStorm(name, n, m, rng)
+
+	soc := socialstore.New(base.Clone())
+	mt := salsa.New(soc, salsa.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: 1, CompactEvery: compactEvery})
+	mt.Bootstrap()
+
+	t0 := time.Now()
+	mt.ApplyEdges(storm)
+	el := time.Since(t0)
+
+	c := mt.Counters()
+	res := adversarialResult{
+		Workload:  name,
+		Seconds:   el.Seconds(),
+		Edges:     len(storm),
+		SkipRate:  c.SkipRate(),
+		SlowNoops: c.SlowNoops,
+		Rerouted:  c.Rerouted,
+		Revived:   c.Revived,
+	}
+	res.ArenaLive, res.ArenaTotal, res.ArenaGarbage = arenaColumns(mt.Store())
+	if s := el.Seconds(); s > 0 {
+		res.EdgesPerSec = float64(len(storm)) / s
+	}
+	return res
+}
+
 // benchChurn folds the update storm into a shrink-grow churn stream and
 // replays it through both incremental maintainers at each update-worker
 // count — the deletion-throughput profile of the reverse reroute rule —
@@ -1163,7 +1327,7 @@ func benchServe(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 // capacity of a quarter of the stream, so three quarters of the arrivals
 // expire back out through the deletion path. Every replay runs on a
 // private clone so the profiles do not contaminate each other.
-func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, ucounts []int) churnReport {
+func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed uint64, ucounts []int, compactEvery int) churnReport {
 	events := gen.ShrinkGrowStream(storm, 4, 0.3, rand.New(rand.NewPCG(seed, 0xc1124)))
 	arrivals, deletions := 0, 0
 	for _, ev := range events {
@@ -1188,7 +1352,7 @@ func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 		return res
 	}
 	for _, uw := range ucounts {
-		mt := pagerank.New(socialstore.New(base.Clone()), pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
+		mt := pagerank.New(socialstore.New(base.Clone()), pagerank.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw, CompactEvery: compactEvery})
 		mt.Bootstrap()
 		t0 := time.Now()
 		mt.ApplyEvents(events)
@@ -1196,7 +1360,7 @@ func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 		chr.Storms = append(chr.Storms, row("pagerank", uw, time.Since(t0), c.DelMisses, c.DelRerouted, c.DelTruncated, c.SlowNoops))
 	}
 	for _, uw := range ucounts {
-		mt := salsa.New(socialstore.New(base.Clone()), salsa.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw})
+		mt := salsa.New(socialstore.New(base.Clone()), salsa.Config{Eps: eps, R: r, Seed: seed, UpdateWorkers: uw, CompactEvery: compactEvery})
 		mt.Bootstrap()
 		t0 := time.Now()
 		mt.ApplyEvents(events)
@@ -1206,7 +1370,7 @@ func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 
 	g := base.Clone()
 	store := walkstore.New()
-	eng := engine.New(g, store, engine.Config{Eps: eps, R: r, Workers: 1, Seed: seed})
+	eng := engine.New(g, store, engine.Config{Eps: eps, R: r, Workers: 1, Seed: seed, CompactEvery: compactEvery})
 	eng.BuildStore(g.Nodes())
 	capacity := max(1, len(storm)/4)
 	t0 := time.Now()
@@ -1217,11 +1381,33 @@ func benchChurn(base *graph.Graph, storm []graph.Edge, r int, eps float64, seed 
 		Turnover: ws.Turnover(), Seconds: el.Seconds(),
 		Rerouted: ws.Delete.Rerouted, Truncated: ws.Delete.Truncated, DeleteMissed: ws.Delete.Missed,
 	}
+	w.ArenaLive, w.ArenaTotal, w.ArenaGarbage = arenaColumns(store)
 	if s := el.Seconds(); s > 0 {
 		w.EdgesPerSec = float64(ws.Arrived) / s
 	}
 	chr.Window = &w
 	return chr
+}
+
+// workloadNames are the selectable -workload arrival-stream shapes; the
+// first entry is the default and the tail is what -adversarial replays.
+var workloadNames = []string{"uniform", "poisson-burst", "bipartite", "power-law"}
+
+// makeStorm builds the main update storm in the requested shape. "uniform"
+// delegates to updateStorm so default runs consume the RNG exactly as every
+// previously committed report did.
+func makeStorm(name string, n, m int, rng *rand.Rand) []graph.Edge {
+	switch name {
+	case "uniform":
+		return updateStorm(n, m, rng)
+	case "poisson-burst":
+		return gen.PoissonBurstStream(n, m, 3.0, rng)
+	case "bipartite":
+		return gen.BipartiteStream(n/2, n-n/2, m, 0.8, rng)
+	case "power-law":
+		return gen.PowerLawStream(n, m, 0.9, 0.7, rng)
+	}
+	panic("benchwalk: unknown workload " + name)
 }
 
 // updateStorm draws random new edges over the node ID space, the arrival

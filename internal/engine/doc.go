@@ -31,5 +31,8 @@
 // The engine is the throughput-oriented, approximately-serialized replay
 // used by benchmarks; pagerank.Maintainer layers the exactly-serialized,
 // call-accounted update path with the W(v) fast path on top of the same
-// store.
+// store. Config.CompactEvery has ApplyWindow check the walk arena between
+// arrivals every N streamed edges (and once more at stream end),
+// compacting when at least a quarter of it is garbage — bitwise invisible
+// to the window run, per docs/DESIGN.md#11-batching--compaction.
 package engine

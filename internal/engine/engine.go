@@ -29,6 +29,14 @@ type Config struct {
 	// scheduling. ApplyEdges derives per-worker sources and is not
 	// scheduling-deterministic.
 	Seed uint64
+	// CompactEvery, when positive, makes ApplyWindow check the arena after
+	// every CompactEvery-th streamed arrival (and once more at the end of
+	// the stream), compacting when at least a quarter of it is garbage
+	// (walkstore.MaybeCompact) — reclaiming what the window's reroutes and
+	// expiries leave behind without repeatedly copying a mostly-live arena.
+	// Compaction changes no logical state, so fixed-seed window runs are
+	// bitwise identical with it on or off.
+	CompactEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -214,6 +222,45 @@ type updState struct {
 	hits  []walkstore.PosHit
 	segs  []walkstore.SegmentID
 	paths [][]graph.NodeID
+
+	// Deferred-write state: the repair loops sample fresh tails into
+	// tailBuf inline (preserving the exact RNG consumption order) and
+	// record a pendingMut each; flushMuts applies one arrival's mutations
+	// through one stripe-grouped ReplaceTailBatch pass.
+	tailBuf []graph.NodeID
+	muts    []pendingMut
+	tms     []walkstore.TailMutation
+}
+
+// pendingMut is one deferred ReplaceTail; start == end records a pure
+// truncation (the deletion path's reverse revival).
+type pendingMut struct {
+	id         walkstore.SegmentID
+	keep       int
+	start, end int // st.tailBuf[start:end] is the fresh tail
+}
+
+// flushMuts applies the deferred tail mutations through one stripe-grouped
+// ReplaceTailBatch pass, crediting removed/added visits to the caller's
+// stats. Registered with defer after the UnlockSet defer, so it runs (LIFO)
+// while the segment stripe locks are still held.
+func (e *Engine) flushMuts(st *updState, stepsOut, stepsIn *int64) {
+	if len(st.muts) == 0 {
+		return
+	}
+	st.tms = st.tms[:0]
+	for _, mu := range st.muts {
+		var tail []graph.NodeID
+		if mu.end > mu.start {
+			tail = st.tailBuf[mu.start:mu.end:mu.end]
+		}
+		st.tms = append(st.tms, walkstore.TailMutation{ID: mu.id, Keep: mu.keep, NewTail: tail})
+	}
+	removed, added := e.store.ReplaceTailBatch(st.tms)
+	*stepsOut += int64(removed)
+	*stepsIn += int64(added)
+	st.muts = st.muts[:0]
+	st.tailBuf = st.tailBuf[:0]
 }
 
 // ApplyEdges replays edge arrivals through the paper's update rule using the
@@ -297,6 +344,7 @@ func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, st *updState, stats *Up
 	}
 	st.idx = e.segMu.LockKeys(st.keys, st.idx)
 	defer e.segMu.UnlockSet(st.idx)
+	defer e.flushMuts(st, &stats.StepsOut, &stats.StepsIn)
 	if e.cfg.Workers > 1 {
 		// Another worker may have mutated a probed segment between the probe
 		// and the freeze; re-read now that the segments cannot move.
@@ -339,11 +387,10 @@ func (e *Engine) applyOne(ed graph.Edge, rng *rand.Rand, st *updState, stats *Up
 		if reroute < 0 {
 			continue
 		}
-		st.tail = append(st.tail[:0], v)
-		st.tail = walk.AppendContinue(e.g, v, e.cfg.Eps, rng, st.tail)
-		removed, added := e.store.ReplaceTail(id, reroute+1, st.tail)
+		start := len(st.tailBuf)
+		st.tailBuf = append(st.tailBuf, v)
+		st.tailBuf = walk.AppendContinue(e.g, v, e.cfg.Eps, rng, st.tailBuf)
+		st.muts = append(st.muts, pendingMut{id: id, keep: reroute + 1, start: start, end: len(st.tailBuf)})
 		stats.Rerouted++
-		stats.StepsOut += int64(removed)
-		stats.StepsIn += int64(added)
 	}
 }

@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"fastppr/internal/graph"
+)
+
+// Adversarial arrival streams: the workload suite the ROADMAP's open item
+// names. Each generator targets a specific weakness of the incremental
+// repair path — temporal clustering (bursts re-enter the same repair
+// neighborhood before its cache lines cool), follower-graph topology
+// (maximal hub/authority asymmetry for the sided SALSA phases), and
+// power-law degree skew (hot nodes carry the most stored walk hits, so
+// their arrivals trigger the largest reroute batches). All are fixed-seed
+// deterministic, like every generator in this package.
+
+// PoissonBurstStream generates m edge arrivals in bursts: clump sizes are
+// 1 + Poisson(lambda) (shifted so every clump is non-empty), each clump
+// shares one uniformly drawn source, and targets are uniform over the other
+// nodes. Consecutive arrivals therefore hammer the same source's repair
+// neighborhood — out-degree moves by the clump size while the stored walks
+// through it are rerouted over and over, the temporal-clustering adversary
+// for the redirect-maintenance path. The final clump is truncated at m.
+func PoissonBurstStream(n, m int, lambda float64, rng *rand.Rand) []graph.Edge {
+	if n < 2 {
+		panic("gen: PoissonBurstStream needs n >= 2")
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		panic("gen: PoissonBurstStream needs lambda >= 0")
+	}
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		burst := 1 + poisson(rng, lambda)
+		u := graph.NodeID(rng.IntN(n))
+		for b := 0; b < burst && len(edges) < m; b++ {
+			var v graph.NodeID
+			for {
+				v = graph.NodeID(rng.IntN(n))
+				if v != u {
+					break
+				}
+			}
+			edges = append(edges, graph.Edge{From: u, To: v})
+		}
+	}
+	return edges
+}
+
+// poisson draws Poisson(lambda) by Knuth's product-of-uniforms method —
+// exact and fast for the small burst means the workload suite uses.
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// BipartiteStream generates m arrivals on a follower-graph topology: every
+// edge goes from the hub side (nodes 0..hubs-1) to the authority side
+// (nodes hubs..hubs+auths-1). Sources are uniform over the hubs; targets
+// follow a Zipf(alpha) popularity law over the authorities (rank 0 = node
+// hubs is the celebrity). The two SALSA sides are maximally asymmetric
+// here: no authority ever gains an out-edge, so forward repairs land only
+// on hubs, backward repairs only on authorities, and the hot authorities
+// accumulate the deepest backward-pending hit lists.
+func BipartiteStream(hubs, auths, m int, alpha float64, rng *rand.Rand) []graph.Edge {
+	if hubs < 1 || auths < 1 {
+		panic("gen: BipartiteStream needs hubs >= 1 and auths >= 1")
+	}
+	z := NewZipf(auths, alpha)
+	edges := make([]graph.Edge, 0, m)
+	for t := 0; t < m; t++ {
+		u := graph.NodeID(rng.IntN(hubs))
+		v := graph.NodeID(hubs + z.Sample(rng))
+		edges = append(edges, graph.Edge{From: u, To: v})
+	}
+	return edges
+}
+
+// PowerLawStream generates m arrivals over n nodes with independently
+// power-law endpoints: sources follow Zipf(alphaOut) with rank r mapped to
+// node r (low IDs are the out-hubs), targets follow Zipf(alphaIn) with rank
+// r mapped to node n-1-r (high IDs are the in-hubs), so the two hub sets
+// are disjoint and both marginal degree laws are realized simultaneously.
+// Self-loops are skipped by resampling the target.
+func PowerLawStream(n, m int, alphaOut, alphaIn float64, rng *rand.Rand) []graph.Edge {
+	if n < 2 {
+		panic("gen: PowerLawStream needs n >= 2")
+	}
+	zo := NewZipf(n, alphaOut)
+	zi := NewZipf(n, alphaIn)
+	edges := make([]graph.Edge, 0, m)
+	for t := 0; t < m; t++ {
+		u := graph.NodeID(zo.Sample(rng))
+		var v graph.NodeID
+		for {
+			v = graph.NodeID(n - 1 - zi.Sample(rng))
+			if v != u {
+				break
+			}
+		}
+		edges = append(edges, graph.Edge{From: u, To: v})
+	}
+	return edges
+}

@@ -1,0 +1,255 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+)
+
+func TestPoissonBurstStreamFixedSeed(t *testing.T) {
+	a := PoissonBurstStream(100, 500, 3, rand.New(rand.NewPCG(9, 0)))
+	b := PoissonBurstStream(100, 500, 3, rand.New(rand.NewPCG(9, 0)))
+	if len(a) != 500 || !reflect.DeepEqual(a, b) {
+		t.Fatal("PoissonBurstStream is not deterministic under a fixed seed")
+	}
+	c := PoissonBurstStream(100, 500, 3, rand.New(rand.NewPCG(10, 0)))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("two seeds produced identical streams")
+	}
+	for i, ed := range a {
+		if ed.From == ed.To {
+			t.Fatalf("edge %d is a self-loop", i)
+		}
+		if ed.From < 0 || ed.From >= 100 || ed.To < 0 || ed.To >= 100 {
+			t.Fatalf("edge %d (%v) outside node range", i, ed)
+		}
+	}
+}
+
+// TestPoissonBurstStreamClumpLaw decomposes the stream into runs of equal
+// sources and chi-squared-tests the run lengths against the 1+Poisson(lambda)
+// law the generator promises. n is huge relative to the clump count so two
+// consecutive clumps sharing a source (which would merge runs) is vanishingly
+// unlikely; the last run is dropped because m truncates it.
+func TestPoissonBurstStreamClumpLaw(t *testing.T) {
+	const n, lambda = 1_000_000, 3.0
+	m := 60_000
+	if testing.Short() {
+		m = 12_000
+	}
+	stream := PoissonBurstStream(n, m, lambda, rand.New(rand.NewPCG(11, 0)))
+	var runs []int
+	runLen := 1
+	for i := 1; i < len(stream); i++ {
+		if stream[i].From == stream[i-1].From {
+			runLen++
+			continue
+		}
+		runs = append(runs, runLen)
+		runLen = 1
+	}
+	// runLen now holds the final, possibly truncated run; discard it.
+
+	// Bin run lengths 1..K with the upper tail lumped into bin K.
+	const K = 9
+	obs := make([]float64, K)
+	for _, r := range runs {
+		if r > K {
+			r = K
+		}
+		obs[r-1]++
+	}
+	total := float64(len(runs))
+	chi2 := 0.0
+	tail := 1.0
+	for k := 1; k < K; k++ {
+		// P(1+Poisson = k) = e^-lambda lambda^(k-1) / (k-1)!
+		p := math.Exp(-lambda) * math.Pow(lambda, float64(k-1)) / float64(factorial(k-1))
+		tail -= p
+		exp := p * total
+		chi2 += (obs[k-1] - exp) * (obs[k-1] - exp) / exp
+	}
+	exp := tail * total
+	chi2 += (obs[K-1] - exp) * (obs[K-1] - exp) / exp
+	// 8 degrees of freedom; P(chi2 > 30) ~ 2e-4, and the seed is fixed so the
+	// draw is deterministic.
+	if chi2 > 30 {
+		t.Fatalf("chi-squared=%.1f rejects the 1+Poisson(%v) clump law", chi2, lambda)
+	}
+}
+
+func factorial(k int) int {
+	f := 1
+	for i := 2; i <= k; i++ {
+		f *= i
+	}
+	return f
+}
+
+func TestBipartiteStreamShape(t *testing.T) {
+	const hubs, auths, m = 40, 60, 2000
+	a := BipartiteStream(hubs, auths, m, 0.8, rand.New(rand.NewPCG(12, 0)))
+	b := BipartiteStream(hubs, auths, m, 0.8, rand.New(rand.NewPCG(12, 0)))
+	if len(a) != m || !reflect.DeepEqual(a, b) {
+		t.Fatal("BipartiteStream is not deterministic under a fixed seed")
+	}
+	for i, ed := range a {
+		if ed.From < 0 || ed.From >= hubs {
+			t.Fatalf("edge %d source %d outside the hub side", i, ed.From)
+		}
+		if ed.To < hubs || ed.To >= hubs+auths {
+			t.Fatalf("edge %d target %d outside the authority side", i, ed.To)
+		}
+	}
+}
+
+// TestBipartiteStreamLaws chi-squared-tests both marginals: uniform sources
+// over the hub side and Zipf(alpha)-ranked targets over the authority side.
+func TestBipartiteStreamLaws(t *testing.T) {
+	const hubs, auths, alpha = 20, 30, 0.8
+	m := 120_000
+	if testing.Short() {
+		m = 24_000
+	}
+	stream := BipartiteStream(hubs, auths, m, alpha, rand.New(rand.NewPCG(13, 0)))
+
+	srcObs := make([]float64, hubs)
+	tgtObs := make([]float64, auths)
+	for _, ed := range stream {
+		srcObs[ed.From]++
+		tgtObs[int(ed.To)-hubs]++
+	}
+
+	chi2 := 0.0
+	for _, o := range srcObs {
+		exp := float64(m) / hubs
+		chi2 += (o - exp) * (o - exp) / exp
+	}
+	// 19 degrees of freedom; P(chi2 > 50) ~ 1e-4.
+	if chi2 > 50 {
+		t.Fatalf("chi-squared=%.1f rejects uniform hub sources", chi2)
+	}
+
+	// Zipf pmf over authority ranks: p_r ∝ (r+1)^-alpha.
+	pmf := make([]float64, auths)
+	sum := 0.0
+	for r := range pmf {
+		pmf[r] = math.Pow(float64(r+1), -alpha)
+		sum += pmf[r]
+	}
+	chi2 = 0.0
+	for r, o := range tgtObs {
+		exp := pmf[r] / sum * float64(m)
+		chi2 += (o - exp) * (o - exp) / exp
+	}
+	// 29 degrees of freedom; P(chi2 > 65) ~ 2e-4.
+	if chi2 > 65 {
+		t.Fatalf("chi-squared=%.1f rejects the Zipf(%v) authority law", chi2, alpha)
+	}
+}
+
+// TestPowerLawStreamLaws chi-squared-tests both endpoint marginals. The
+// source marginal is exactly Zipf(alphaOut) over node IDs; the target
+// marginal is the reversed Zipf(alphaIn) law conditioned on the self-loop
+// resampling, computed exactly from the generator's definition.
+func TestPowerLawStreamLaws(t *testing.T) {
+	const n = 40
+	const alphaOut, alphaIn = 0.9, 0.7
+	m := 120_000
+	if testing.Short() {
+		m = 24_000
+	}
+	stream := PowerLawStream(n, m, alphaOut, alphaIn, rand.New(rand.NewPCG(14, 0)))
+	if len(stream) != m {
+		t.Fatalf("stream has %d edges, want %d", len(stream), m)
+	}
+
+	srcObs := make([]float64, n)
+	tgtObs := make([]float64, n)
+	for i, ed := range stream {
+		if ed.From == ed.To {
+			t.Fatalf("edge %d is a self-loop", i)
+		}
+		srcObs[ed.From]++
+		tgtObs[ed.To]++
+	}
+
+	// pOut[u]: P(source = u) = Zipf(alphaOut) at rank u.
+	// pIn[v]: unconditional P(target = v) = Zipf(alphaIn) at rank n-1-v.
+	pOut := zipfPMF(n, alphaOut)
+	pIn := make([]float64, n)
+	rev := zipfPMF(n, alphaIn)
+	for v := range pIn {
+		pIn[v] = rev[n-1-v]
+	}
+
+	chi2 := 0.0
+	for u, o := range srcObs {
+		exp := pOut[u] * float64(m)
+		chi2 += (o - exp) * (o - exp) / exp
+	}
+	// 39 degrees of freedom; P(chi2 > 80) ~ 1e-4.
+	if chi2 > 80 {
+		t.Fatalf("chi-squared=%.1f rejects the Zipf(%v) source law", chi2, alphaOut)
+	}
+
+	// Target marginal under resampling: P(v) = sum_{u != v} pOut[u] * pIn[v]/(1-pIn[u]).
+	chi2 = 0.0
+	for v, o := range tgtObs {
+		p := 0.0
+		for u := 0; u < n; u++ {
+			if u == v {
+				continue
+			}
+			p += pOut[u] * pIn[v] / (1 - pIn[u])
+		}
+		exp := p * float64(m)
+		chi2 += (o - exp) * (o - exp) / exp
+	}
+	if chi2 > 80 {
+		t.Fatalf("chi-squared=%.1f rejects the reversed Zipf(%v) target law", chi2, alphaIn)
+	}
+}
+
+func zipfPMF(n int, alpha float64) []float64 {
+	pmf := make([]float64, n)
+	sum := 0.0
+	for r := range pmf {
+		pmf[r] = math.Pow(float64(r+1), -alpha)
+		sum += pmf[r]
+	}
+	for r := range pmf {
+		pmf[r] /= sum
+	}
+	return pmf
+}
+
+func TestAdversarialStreamPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	rng := rand.New(rand.NewPCG(1, 0))
+	expectPanic("PoissonBurstStream n", func() { PoissonBurstStream(1, 5, 1, rng) })
+	expectPanic("PoissonBurstStream lambda", func() { PoissonBurstStream(5, 5, -1, rng) })
+	expectPanic("BipartiteStream", func() { BipartiteStream(0, 5, 5, 0.5, rng) })
+	expectPanic("PowerLawStream", func() { PowerLawStream(1, 5, 0.5, 0.5, rng) })
+}
+
+// TestPoissonBurstStreamReplays sanity-checks that a burst stream replays
+// cleanly into a graph (no panics, every edge present).
+func TestPoissonBurstStreamReplays(t *testing.T) {
+	stream := PoissonBurstStream(50, 400, 2, rand.New(rand.NewPCG(15, 0)))
+	g := BuildFromStream(stream)
+	if got := g.NumEdges(); got != 400 {
+		t.Fatalf("replayed graph has %d edges, want 400", got)
+	}
+	if got := g.NumNodes(); got > 50 {
+		t.Fatalf("replayed graph has %d nodes, want <= 50", got)
+	}
+}

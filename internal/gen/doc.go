@@ -21,4 +21,14 @@
 // stream — a serialized replay must record zero deletion misses — and
 // SplitEvents recovers the plain arrival slice when a consumer wants the
 // growth-only prefix semantics.
+//
+// The adversarial arrival suite
+// (docs/DESIGN.md#11-batching--compaction) stresses the maintainers with
+// the stream shapes uniform arrivals never produce: PoissonBurstStream
+// (temporally clumped arrivals sharing a source), BipartiteStream
+// (hub-to-authority arrivals under a Zipf popularity law) and
+// PowerLawStream (Zipf-skewed endpoints on both sides). All three are
+// fixed-seed, panic on degenerate parameters, and are shape-checked by
+// chi-squared tests; cmd/benchwalk exposes them as -workload profiles and
+// replays them in its -adversarial section.
 package gen

@@ -58,4 +58,14 @@
 // socialstore.Store, so the call accounting the paper's cost analysis is
 // stated in falls out of Metrics(); per-arrival work beyond that is visible
 // in Counters().
+//
+// Index writes are phase-batched (docs/DESIGN.md#11-batching--compaction):
+// reroute and revival tails are sampled inline — preserving the bitwise
+// coin sequence — and their mutations flushed through one
+// walkstore.ReplaceTailBatch per repair phase, with the parallel path
+// pre-grouping arrivals by source stripe. Config.UnbatchedWrites keeps the
+// per-call path as the equivalence oracle; Config.CompactEvery checks the
+// arena between batches and compacts when at least a quarter of it is
+// garbage (walkstore.Store.MaybeCompact). Both knobs are proven bitwise
+// invisible by the fixed-seed batch tests.
 package pagerank

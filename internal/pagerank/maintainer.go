@@ -50,6 +50,20 @@ type Config struct {
 	// the same either way; the flag exists for benchmarks and the
 	// equivalence test, not for production use.
 	LegacyScan bool
+	// CompactEvery, when positive, checks the arena every CompactEvery-th
+	// completed mutation (arrival or deletion) and runs Store.Compact when
+	// at least a quarter of it is garbage (Store.MaybeCompact), without
+	// repeatedly copying a mostly-live arena. Compaction changes no
+	// logical state, so fixed-seed runs are bitwise identical with it on
+	// or off. See docs/DESIGN.md#11-batching--compaction.
+	CompactEvery int
+	// UnbatchedWrites routes every repair tail write through an immediate
+	// per-segment ReplaceTail instead of the phase-batched ReplaceTailBatch
+	// flush. The batched path samples each fresh tail inline (consuming the
+	// RNG exactly where the unbatched path would) and only coalesces the
+	// store writes, so fixed-seed serialized runs are bitwise identical
+	// either way; the flag exists for benchmarks and the equivalence tests.
+	UnbatchedWrites bool
 }
 
 // Counters is a snapshot of the maintainer's update-path accounting.
@@ -133,9 +147,26 @@ type updater struct {
 	hits  []walkstore.PosHit
 	segs  []walkstore.SegmentID
 	paths [][]graph.NodeID
+
+	// Deferred-write state: redirect samples fresh tails into tailBuf and
+	// records a pendingMut per mutation; flushMuts applies the whole
+	// phase's mutations through one stripe-grouped ReplaceTailBatch pass.
+	tailBuf []graph.NodeID
+	muts    []pendingMut
+	tms     []walkstore.TailMutation
 }
 
 func newUpdater(rng *rand.Rand) *updater { return &updater{rng: rng} }
+
+// pendingMut is one deferred ReplaceTail: the repair phase samples the fresh
+// tail inline (preserving the exact RNG consumption order) into w.tailBuf and
+// defers the store write until the phase's flush. start == end records a pure
+// truncation (deletion-path revival in reverse).
+type pendingMut struct {
+	id         walkstore.SegmentID
+	keep       int
+	start, end int // w.tailBuf[start:end] is the fresh tail
+}
 
 // lockSegments freezes the given segments under the maintainer's
 // SegmentID-stripe locks, acquiring stripe indices in ascending order
@@ -168,6 +199,9 @@ type Maintainer struct {
 	srcMu *stripes.MutexSet
 	segMu *stripes.MutexSet
 	cnt   counters
+
+	// compactTick counts completed mutations toward Config.CompactEvery.
+	compactTick atomic.Int64
 }
 
 // New returns a maintainer over the social store's graph with an empty walk
@@ -293,6 +327,12 @@ func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
 }
 
 func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
+	// Pre-group the storm by source stripe: consecutive claims then hit the
+	// same counter stripe and source lock, so each worker's cache lines
+	// stay warm. Same-stripe arrivals keep their relative stream order (the
+	// grouping is a stable permutation); cross-stripe order was never
+	// guaranteed on the parallel path.
+	order := walkstore.GroupByStripe(len(edges), func(i int) graph.NodeID { return edges[i].From })
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -305,7 +345,7 @@ func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
 				if i >= len(edges) {
 					break
 				}
-				m.applyOne(edges[i], w)
+				m.applyOne(edges[order[i]], w)
 			}
 		}(wk)
 	}
@@ -330,6 +370,7 @@ func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
 	lk.Unlock()
 	m.ensureNode(u, w)
 	m.ensureNode(v, w)
+	m.maybeCompact()
 }
 
 // reroute repairs stored walks after u's out-degree rose to d >= 2: every
@@ -367,6 +408,7 @@ func (m *Maintainer) reroute(u, v graph.NodeID, d int, w *updater) {
 	}
 	ids, hits, held := m.freeze(u, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	for {
 		var rerouted, seen int64
 		if m.cfg.LegacyScan {
@@ -525,6 +567,7 @@ func (m *Maintainer) revive(u, v graph.NodeID, w *updater) {
 	}
 	ids, hits, held := m.freeze(u, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	for {
 		var revived, seen int64
 		if m.cfg.LegacyScan {
@@ -602,13 +645,75 @@ func (m *Maintainer) reviveScanIndexed(hits []walkstore.PosHit, v graph.NodeID, 
 
 // redirect truncates segment id to keep nodes, steps it to v, and extends it
 // with a fresh geometric tail sampled through the social store. Callers hold
-// the segment's stripe lock.
+// the segment's stripe lock. The tail is always sampled here, inline — only
+// the store write is deferred to the phase's flushMuts unless
+// UnbatchedWrites — so the RNG sequence is identical on both paths.
 func (m *Maintainer) redirect(id walkstore.SegmentID, keep int, v graph.NodeID, w *updater) {
-	w.tail = append(w.tail[:0], v)
-	w.tail = walk.AppendContinue(m.soc, v, m.cfg.Eps, w.rng, w.tail)
-	removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+	if m.cfg.UnbatchedWrites {
+		w.tail = append(w.tail[:0], v)
+		w.tail = walk.AppendContinue(m.soc, v, m.cfg.Eps, w.rng, w.tail)
+		removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+		m.cnt.stepsOut.Add(int64(removed))
+		m.cnt.stepsIn.Add(int64(added))
+		return
+	}
+	start := len(w.tailBuf)
+	w.tailBuf = append(w.tailBuf, v)
+	w.tailBuf = walk.AppendContinue(m.soc, v, m.cfg.Eps, w.rng, w.tailBuf)
+	w.muts = append(w.muts, pendingMut{id: id, keep: keep, start: start, end: len(w.tailBuf)})
+}
+
+// truncate cuts segment id down to keep nodes with no replacement tail (the
+// deletion path's reverse revival), deferred alongside the phase's redirects.
+func (m *Maintainer) truncate(id walkstore.SegmentID, keep int, w *updater) {
+	if m.cfg.UnbatchedWrites {
+		removed, _ := m.walks.ReplaceTail(id, keep, nil)
+		m.cnt.stepsOut.Add(int64(removed))
+		return
+	}
+	w.muts = append(w.muts, pendingMut{id: id, keep: keep})
+}
+
+// flushMuts applies every tail mutation the current repair phase deferred
+// through one stripe-grouped ReplaceTailBatch pass: one arena relocation
+// critical section and one counter-stripe lock acquisition per touched
+// stripe, instead of one of each per rerouted segment. Phases register it
+// with defer immediately after the UnlockSet defer, so it runs (LIFO) while
+// the segment stripe locks are still held; a phase's writes are therefore
+// fully visible before the source stripe is released, exactly as on the
+// unbatched path.
+func (m *Maintainer) flushMuts(w *updater) {
+	if len(w.muts) == 0 {
+		return
+	}
+	w.tms = w.tms[:0]
+	for _, mu := range w.muts {
+		var tail []graph.NodeID
+		if mu.end > mu.start {
+			tail = w.tailBuf[mu.start:mu.end:mu.end]
+		}
+		w.tms = append(w.tms, walkstore.TailMutation{ID: mu.id, Keep: mu.keep, NewTail: tail})
+	}
+	removed, added := m.walks.ReplaceTailBatch(w.tms)
 	m.cnt.stepsOut.Add(int64(removed))
 	m.cnt.stepsIn.Add(int64(added))
+	w.muts = w.muts[:0]
+	w.tailBuf = w.tailBuf[:0]
+}
+
+// maybeCompact checks the arena's garbage ratio every CompactEvery-th
+// completed mutation and compacts when it is worth the copy
+// (Store.MaybeCompact). Compact changes no logical state (no epoch,
+// stripe-epoch, or journal movement), so its placement relative to
+// concurrent estimates is unconstrained; callers just must not hold
+// segment stripe locks across it (they don't — it runs after the repair).
+func (m *Maintainer) maybeCompact() {
+	if m.cfg.CompactEvery <= 0 {
+		return
+	}
+	if m.compactTick.Add(1)%int64(m.cfg.CompactEvery) == 0 {
+		m.walks.MaybeCompact()
+	}
 }
 
 // ensureNode seeds R fresh segments for a node first seen mid-stream,

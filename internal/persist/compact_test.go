@@ -1,0 +1,61 @@
+package persist
+
+import (
+	"testing"
+
+	"fastppr/internal/graph"
+	"fastppr/internal/walkstore"
+)
+
+// TestCompactionTransparentToWAL pins the durability contract of the
+// batching era: ReplaceTailBatch journals one WAL record per entry in batch
+// order (so replay is the sequential execution), and Compact writes nothing
+// — it rewrites arena bytes only, so a crash at any point after a compaction
+// recovers the identical logical store from the pre-compaction journal.
+func TestCompactionTransparentToWAL(t *testing.T) {
+	script := func(t *testing.T, s *walkstore.Store, compact bool) {
+		t.Helper()
+		a := s.AddSided([]graph.NodeID{1, 2, 3}, walkstore.SideForward)
+		b := s.AddSided([]graph.NodeID{2, 3}, walkstore.SideBackward)
+		c := s.Add([]graph.NodeID{5, 1})
+		if compact {
+			s.Compact() // nothing dead yet: no-op
+		}
+		s.ReplaceTailBatch([]walkstore.TailMutation{
+			{ID: a, Keep: 1, NewTail: []graph.NodeID{7, 8}},
+			{ID: b, Keep: 2, NewTail: nil}, // no-op entry: logs nothing
+			{ID: c, Keep: 1, NewTail: []graph.NodeID{3}},
+			{ID: a, Keep: 2, NewTail: []graph.NodeID{9}}, // same segment twice
+		})
+		if compact {
+			s.Compact() // reclaims the batch's relocation garbage
+		}
+		s.Remove(b)
+		s.ReplaceTail(c, 1, []graph.NodeID{2, 2})
+		if compact {
+			s.Compact()
+		}
+	}
+
+	dir := t.TempDir()
+	// Abandon without Close: recovery sees exactly what the WAL pushed, and
+	// SyncEveryRecord pushes every record.
+	_, s, _ := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	script(t, s, true)
+	liveBefore, totalBefore := s.ArenaStats()
+	if liveBefore != totalBefore {
+		t.Fatalf("script's final Compact left garbage: live=%d total=%d", liveBefore, totalBefore)
+	}
+
+	m2, s2, info := mustOpen(t, Config{Dir: dir, Policy: SyncEveryRecord})
+	defer m2.Close()
+	// 3 adds + 3 batch non-noops + 1 remove + 1 replace = 8 records; the
+	// batch's no-op entry and the three Compact calls journal nothing.
+	if info.Replayed != 8 {
+		t.Errorf("replayed %d records, want 8", info.Replayed)
+	}
+
+	want := walkstore.New()
+	script(t, want, false) // reference never compacts
+	equalStores(t, s2, want)
+}

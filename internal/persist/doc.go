@@ -27,6 +27,13 @@
 // externally rebuilt op stream can be cross-checked against what the log
 // says was deleted — docs/DESIGN.md#10-deletions--windows.
 //
+// Batched writes journal transparently: walkstore.ReplaceTailBatch logs
+// one record per non-noop entry in batch order, so replay is the
+// sequential execution; arena compaction logs nothing at all — it moves
+// bytes, not logical state — so recovery after any number of compactions
+// replays the same journal into the identical store
+// (docs/DESIGN.md#11-batching--compaction).
+//
 // Fsync cadence is configurable (every record, every N, on a timer, or
 // never); the fault-injection plan in this package scripts short writes,
 // flipped bytes, and ENOSPC against the same File seam the real files go

@@ -99,4 +99,14 @@
 // built on (docs/DESIGN.md#9-the-serving-tier); SetArrivalObserver is the
 // hook that tier uses to see arrivals whose repair never touched the walk
 // store.
+//
+// Index writes are phase-batched (docs/DESIGN.md#11-batching--compaction):
+// each repair phase samples its tails inline — the coin sequence is
+// bitwise the sequential one — but coalesces the resulting mutations into
+// one walkstore.ReplaceTailBatch per phase, and the parallel path
+// pre-groups each arrival batch by source stripe. Config.UnbatchedWrites
+// keeps the per-call path as the equivalence oracle, and
+// Config.CompactEvery checks the arena between batches and compacts when
+// at least a quarter of it is garbage (walkstore.Store.MaybeCompact);
+// both are proven bitwise invisible by the fixed-seed batch tests.
 package salsa

@@ -56,6 +56,23 @@ type Config struct {
 	// so a fixed-seed serialized run is bitwise the same either way; the
 	// flag exists for benchmarks and the equivalence test.
 	LegacyScan bool
+	// CompactEvery, when positive, checks the arena every CompactEvery-th
+	// completed mutation (arrival or deletion) and runs Store.Compact when
+	// at least a quarter of it is garbage (Store.MaybeCompact), reclaiming
+	// what ReplaceTail leaves behind without repeatedly copying a
+	// mostly-live arena. Compaction changes no logical state — estimates,
+	// epochs, and the mutation log are all untouched — so fixed-seed runs
+	// are bitwise identical with it on or off. See
+	// docs/DESIGN.md#11-batching--compaction.
+	CompactEvery int
+	// UnbatchedWrites routes every repair-phase tail write through an
+	// immediate per-segment ReplaceTail instead of the phase-batched
+	// ReplaceTailBatch flush. The batched path samples each fresh tail
+	// inline (consuming the RNG exactly where the unbatched path would)
+	// and only coalesces the store writes, so fixed-seed serialized runs
+	// are bitwise identical either way; the flag exists for benchmarks and
+	// the equivalence tests.
+	UnbatchedWrites bool
 }
 
 func (c Config) queryWalks() int {
@@ -153,9 +170,26 @@ type updater struct {
 	segs    []walkstore.SegmentID
 	paths   [][]graph.NodeID
 	touched touchedSet
+
+	// Deferred-write state: redirect samples fresh tails into tailBuf and
+	// records a pendingMut per mutation; flushMuts applies the whole
+	// phase's mutations through one stripe-grouped ReplaceTailBatch pass.
+	tailBuf []graph.NodeID
+	muts    []pendingMut
+	tms     []walkstore.TailMutation
 }
 
 func newUpdater(rng *rand.Rand) *updater { return &updater{rng: rng} }
+
+// pendingMut is one deferred ReplaceTail: the repair phase samples the fresh
+// tail inline (preserving the exact RNG consumption order) into w.tailBuf and
+// defers the store write until the phase's flush. start == end records a pure
+// truncation (deletion-path revival in reverse).
+type pendingMut struct {
+	id         walkstore.SegmentID
+	keep       int
+	start, end int // w.tailBuf[start:end] is the fresh tail
+}
 
 // touchedSet records the segments whose tail this arrival already
 // regenerated (id -> first fresh path position). A flat pair of parallel
@@ -214,6 +248,9 @@ type Maintainer struct {
 	endMu *stripes.MutexSet
 	segMu *stripes.MutexSet
 	cnt   counters
+
+	// compactTick counts completed mutations toward Config.CompactEvery.
+	compactTick atomic.Int64
 
 	// arrivalObs, when set, is called after each graph mutation's repair
 	// completes — arrivals (edge written, both repair phases done, endpoints
@@ -399,6 +436,12 @@ func (m *Maintainer) ApplyEdges(edges []graph.Edge) {
 }
 
 func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
+	// Pre-group the storm by source stripe: consecutive claims then hit the
+	// same counter stripe and endpoint locks, so each worker's cache lines
+	// stay warm. Same-stripe arrivals keep their relative stream order (the
+	// grouping is a stable permutation); cross-stripe order was never
+	// guaranteed on the parallel path.
+	order := walkstore.GroupByStripe(len(edges), func(i int) graph.NodeID { return edges[i].From })
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for wk := 0; wk < workers; wk++ {
@@ -411,7 +454,7 @@ func (m *Maintainer) applyParallel(edges []graph.Edge, workers int) {
 				if i >= len(edges) {
 					break
 				}
-				m.applyOne(edges[i], w)
+				m.applyOne(edges[order[i]], w)
 			}
 		}(wk)
 	}
@@ -458,6 +501,7 @@ func (m *Maintainer) applyOne(ed graph.Edge, w *updater) {
 	if m.arrivalObs != nil {
 		m.arrivalObs(ed)
 	}
+	m.maybeCompact()
 }
 
 // freeze prepares one repair phase's candidate enumeration at node n for
@@ -529,6 +573,7 @@ func (m *Maintainer) rerouteForward(u, v graph.NodeID, d int, w *updater) {
 	}
 	ids, hits, held := m.freeze(u, walkstore.SideForward, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	for {
 		var rerouted, seen int64
 		if m.cfg.LegacyScan {
@@ -653,6 +698,7 @@ func (m *Maintainer) reviveForward(u, v graph.NodeID, w *updater) {
 	}
 	ids, hits, held := m.freeze(u, walkstore.SideForward, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	for {
 		var revived, seen int64
 		if m.cfg.LegacyScan {
@@ -758,6 +804,7 @@ func (m *Maintainer) rerouteBackward(v, u graph.NodeID, d int, w *updater) {
 	}
 	ids, hits, held := m.freeze(v, walkstore.SideBackward, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	for {
 		var rerouted, seen int64
 		if m.cfg.LegacyScan {
@@ -873,6 +920,7 @@ func (m *Maintainer) reviveBackward(v, u graph.NodeID, w *updater) {
 	}
 	ids, hits, held := m.freeze(v, walkstore.SideBackward, w)
 	defer m.segMu.UnlockSet(held)
+	defer m.flushMuts(w)
 	revived := int64(0)
 	if m.cfg.LegacyScan {
 		for _, id := range ids {
@@ -923,13 +971,76 @@ func (m *Maintainer) reviveBackward(v, u graph.NodeID, w *updater) {
 // it with a fresh alternating tail whose next step has direction nextDir,
 // sampled through the social store. Parity is preserved: position keep's
 // pending direction is automatically nextDir. Callers hold the segment's
-// stripe lock.
+// stripe lock. The tail is always sampled here, inline — only the store
+// write is deferred to the phase's flushMuts unless UnbatchedWrites — so
+// the RNG sequence is identical on both paths.
 func (m *Maintainer) redirect(id walkstore.SegmentID, keep int, to graph.NodeID, nextDir walk.Direction, w *updater) {
-	w.tail = append(w.tail[:0], to)
-	w.tail = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, w.rng, w.tail)
-	removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+	if m.cfg.UnbatchedWrites {
+		w.tail = append(w.tail[:0], to)
+		w.tail = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, w.rng, w.tail)
+		removed, added := m.walks.ReplaceTail(id, keep, w.tail)
+		m.cnt.stepsOut.Add(int64(removed))
+		m.cnt.stepsIn.Add(int64(added))
+		return
+	}
+	start := len(w.tailBuf)
+	w.tailBuf = append(w.tailBuf, to)
+	w.tailBuf = walk.AppendContinueSalsa(m.soc, to, nextDir, m.cfg.Eps, w.rng, w.tailBuf)
+	w.muts = append(w.muts, pendingMut{id: id, keep: keep, start: start, end: len(w.tailBuf)})
+}
+
+// truncate cuts segment id down to keep nodes with no replacement tail (the
+// deletion path's reverse revival), deferred alongside the phase's redirects.
+func (m *Maintainer) truncate(id walkstore.SegmentID, keep int, w *updater) {
+	if m.cfg.UnbatchedWrites {
+		removed, _ := m.walks.ReplaceTail(id, keep, nil)
+		m.cnt.stepsOut.Add(int64(removed))
+		return
+	}
+	w.muts = append(w.muts, pendingMut{id: id, keep: keep})
+}
+
+// flushMuts applies every tail mutation the current repair phase deferred
+// through one stripe-grouped ReplaceTailBatch pass: one arena relocation
+// critical section and one counter-stripe lock acquisition per touched
+// stripe, instead of one of each per rerouted segment. Phases register it
+// with defer immediately after the UnlockSet defer, so it runs (LIFO) while
+// the segment stripe locks are still held; a phase's writes are therefore
+// fully visible before the next phase probes the store, exactly as on the
+// unbatched path.
+func (m *Maintainer) flushMuts(w *updater) {
+	if len(w.muts) == 0 {
+		return
+	}
+	w.tms = w.tms[:0]
+	for _, mu := range w.muts {
+		var tail []graph.NodeID
+		if mu.end > mu.start {
+			tail = w.tailBuf[mu.start:mu.end:mu.end]
+		}
+		w.tms = append(w.tms, walkstore.TailMutation{ID: mu.id, Keep: mu.keep, NewTail: tail})
+	}
+	removed, added := m.walks.ReplaceTailBatch(w.tms)
 	m.cnt.stepsOut.Add(int64(removed))
 	m.cnt.stepsIn.Add(int64(added))
+	w.muts = w.muts[:0]
+	w.tailBuf = w.tailBuf[:0]
+}
+
+// maybeCompact checks the arena's garbage ratio every CompactEvery-th
+// completed mutation and compacts when it is worth the copy
+// (Store.MaybeCompact). Compact changes no logical state (no epoch,
+// stripe-epoch, or journal movement), so its placement relative to the
+// arrival observer and to concurrent queries is unconstrained; callers
+// just must not hold segment stripe locks across it (they don't — it runs
+// after the repair).
+func (m *Maintainer) maybeCompact() {
+	if m.cfg.CompactEvery <= 0 {
+		return
+	}
+	if m.compactTick.Add(1)%int64(m.cfg.CompactEvery) == 0 {
+		m.walks.MaybeCompact()
+	}
 }
 
 // ensureNode seeds R segments per side for a node first seen mid-stream,

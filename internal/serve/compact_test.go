@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fastppr/internal/gen"
+	"fastppr/internal/graph"
+	"fastppr/internal/salsa"
+)
+
+// TestStalenessFuzzUnderCompaction extends the staleness fuzz with arena
+// compactions firing mid-storm — both the maintainer's CompactEvery trigger
+// and explicit Compact calls between queries. Compaction bumps no epoch and
+// no stripe stamp, so it must be invisible to the serving tier: cached
+// entries survive it (a hit immediately after a compaction is required, not
+// just tolerated) and every served result — hit or miss — stays bitwise
+// identical to a fresh recompute on its stream.
+func TestStalenessFuzzUnderCompaction(t *testing.T) {
+	n, m, iters := 150, 2000, 400
+	if testing.Short() {
+		n, m, iters = 80, 800, 120
+	}
+	cfg := salsa.Config{Eps: 0.2, R: 5, Workers: 1, Seed: 67, QueryWalks: 64, CompactEvery: 9}
+	s, storm := newServer(t, n, m, cfg, Config{})
+	mt := s.Maintainer()
+	events := gen.ShrinkGrowStream(storm, 5, 0.3, rand.New(rand.NewPCG(69, 0)))
+	rng := rand.New(rand.NewPCG(68, 0))
+	next := 0
+	hitsAfterCompact := 0
+	for it := 0; it < iters; it++ {
+		switch {
+		case rng.IntN(4) == 0 && next < len(events):
+			k := min(1+rng.IntN(8), len(events)-next)
+			s.ApplyEvents(events[next : next+k])
+			next += k
+			continue
+		case rng.IntN(5) == 0:
+			// Warm a source, compact, and demand the entry survived: the
+			// arena rewrite moved every live path, but epochs are untouched,
+			// so the cache must still serve it — bitwise equal to recompute.
+			src := graph.NodeID(rng.IntN(10))
+			s.Personalized(src)
+			mt.Store().Compact()
+			res := s.Personalized(src)
+			if !res.Hit {
+				t.Fatalf("iter %d: compaction invalidated the cache entry for %d", it, src)
+			}
+			if !sameQuery(res.Query, mt.PersonalizedStream(src, res.Stream)) {
+				t.Fatalf("iter %d: post-compaction hit for %d diverges from recompute", it, src)
+			}
+			hitsAfterCompact++
+			continue
+		}
+		src := graph.NodeID(rng.IntN(10))
+		if rng.IntN(4) == 0 {
+			src = graph.NodeID(rng.IntN(n))
+		}
+		res := s.Personalized(src)
+		if !sameQuery(res.Query, mt.PersonalizedStream(src, res.Stream)) {
+			t.Fatalf("iter %d: served result for %d (hit=%v) diverges from recompute", it, src, res.Hit)
+		}
+	}
+	if hitsAfterCompact == 0 {
+		t.Fatal("fuzz run never served a hit across a compaction")
+	}
+	st := s.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.Invalidated == 0 {
+		t.Fatalf("fuzz run did not exercise the cache: %+v", st)
+	}
+	cnt := mt.Counters()
+	if cnt.Deletions == 0 {
+		t.Fatalf("fuzz run applied no deletions: %+v", cnt)
+	}
+	live, total := mt.Store().ArenaStats()
+	if live > total {
+		t.Fatalf("ArenaStats live=%d > total=%d", live, total)
+	}
+	if err := mt.Store().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mt.Store().ValidateSteps(mt.Social().Graph().HasEdge); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,12 @@
 // query: misses by the query layer's own session accounting, hits
 // trivially.
 //
+// Arena compaction (docs/DESIGN.md#11-batching--compaction) bumps no
+// epoch and no stripe stamp — logically nothing changed — so cached
+// results stay valid across it by construction; the staleness fuzz
+// demands a hit immediately after a compaction, bitwise equal to a fresh
+// recompute.
+//
 // See docs/DESIGN.md#9-the-serving-tier for the invalidation-key soundness
 // argument, the ordering of the stamps against the lock order of
 // docs/DESIGN.md#6-concurrency-model, and the snapshot semantics of

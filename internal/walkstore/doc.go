@@ -98,4 +98,21 @@
 // ValidateSteps checks the edge-consistency invariant a shrink leaves
 // behind — no stored step may traverse an edge missing from the graph,
 // with backward (sided) steps checked against the transposed adjacency.
+//
+// Batching and compaction (docs/DESIGN.md#11-batching--compaction).
+// ReplaceTailBatch applies a whole repair phase's tail mutations under one
+// segment-lock acquisition — relocations in batch order (so replay order
+// equals execution order and a batch may touch the same segment twice),
+// then one stripe-sorted index pass — producing byte-identical index
+// buckets, epochs, and WAL records to the per-call path; GroupByStripe is
+// the stable counting sort the maintainers' parallel paths use to aim
+// whole arrival slices at one stripe neighborhood. Compact rewrites the
+// live segments into a fresh arena and repoints them in place, reclaiming
+// ReplaceTail garbage (measured by ArenaStats) while bumping no epoch, no
+// stripe stamp, and no mutation-log entry — previously handed-out Path
+// slices keep reading the old arena, so the stability contract above is
+// untouched and cached query results stay valid across a compaction.
+// MaybeCompact wraps Compact behind a garbage-ratio gate — it only pays
+// for the arena copy when at least a quarter of the slots are garbage —
+// and is what the maintainers' periodic triggers call.
 package walkstore

@@ -333,6 +333,29 @@ const StripeCount = numStripes
 // stripes they depend on with this function.
 func StripeOf(v graph.NodeID) int { return stripeIndex(v) }
 
+// GroupByStripe returns a stable permutation of [0, n) grouping indices by
+// StripeOf(node(i)): a counting sort, O(n + StripeCount). The maintainers
+// pre-group a storm's arrivals by source stripe with it so consecutive
+// claims touch the same counter stripe and endpoint locks (cache-local
+// ingestion); stability keeps same-stripe arrivals in stream order.
+func GroupByStripe(n int, node func(int) graph.NodeID) []int {
+	var next [numStripes]int
+	for i := 0; i < n; i++ {
+		next[stripeIndex(node(i))]++
+	}
+	sum := 0
+	for i := range next {
+		next[i], sum = sum, sum+next[i]
+	}
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		st := stripeIndex(node(i))
+		order[next[st]] = i
+		next[st]++
+	}
+	return order
+}
+
 // Epoch returns the number of completed segment mutations. Monotone;
 // bracketing a read-only pass with two Epoch calls bounds how many mutations
 // landed during it.
@@ -576,9 +599,11 @@ func (s *Store) removeVisitLocked(st *counterStripe, ns *nodeState, id SegmentID
 // total update per mutation instead of one per visit is a large share of the
 // arrival hot path.
 type tailOp struct {
+	id   SegmentID
 	v    graph.NodeID
 	pos  int32
 	kind uint8
+	side Side // the mutated segment's stored side (Unsided for plain walks)
 	d    Side // direction for sided terminal ops
 }
 
@@ -595,14 +620,12 @@ var tailOpPool = sync.Pool{New: func() any { b := make([]tailOp, 0, 64); return 
 
 // applyTailOps groups ops by counter stripe (stable, so one node's removals
 // keep their descending-position order) and applies each group under a
-// single stripe-lock acquisition, then bumps the atomic totals once.
-func (s *Store) applyTailOps(ops []tailOp, id SegmentID, side Side) {
-	// Stable insertion sort by stripe index: op lists are ~2L entries.
-	for i := 1; i < len(ops); i++ {
-		for j := i; j > 0 && stripeIndex(ops[j-1].v) > stripeIndex(ops[j].v); j-- {
-			ops[j-1], ops[j] = ops[j], ops[j-1]
-		}
-	}
+// single stripe-lock acquisition, then bumps the atomic totals once. Every
+// op carries its own segment and side, so one call can apply a whole batch
+// of tail mutations spanning segments of different sides, with each touched
+// stripe still paying exactly one mutating acquisition for the batch.
+func (s *Store) applyTailOps(ops []tailOp) {
+	sortOpsByStripe(ops)
 	var totalDelta int64
 	var sidedDelta [2]int64
 	for i := 0; i < len(ops); {
@@ -618,19 +641,19 @@ func (s *Store) applyTailOps(ops []tailOp, id SegmentID, side Side) {
 				ns := st.node(op.v)
 				if ns == nil {
 					st.mu.Unlock()
-					panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", id, op.v))
+					panic(fmt.Sprintf("walkstore: removing absent visit of segment %d at node %d", op.id, op.v))
 				}
-				s.removeVisitLocked(st, ns, id, op.v, int(op.pos), side)
+				s.removeVisitLocked(st, ns, op.id, op.v, int(op.pos), op.side)
 				totalDelta--
-				if side >= 0 {
-					sidedDelta[side.PendingAt(int(op.pos))]--
+				if op.side >= 0 {
+					sidedDelta[op.side.PendingAt(int(op.pos))]--
 				}
 				st.maybeDelete(op.v, ns)
 			case tailVisitAdd:
-				s.addVisitLocked(st, id, op.v, int(op.pos), side)
+				s.addVisitLocked(st, op.id, op.v, int(op.pos), op.side)
 				totalDelta++
-				if side >= 0 {
-					sidedDelta[side.PendingAt(int(op.pos))]++
+				if op.side >= 0 {
+					sidedDelta[op.side.PendingAt(int(op.pos))]++
 				}
 			case tailTermDec:
 				ns := st.node(op.v)
@@ -650,6 +673,40 @@ func (s *Store) applyTailOps(ops []tailOp, id SegmentID, side Side) {
 		i = j
 	}
 	s.bumpTotals(totalDelta, sidedDelta)
+}
+
+// sortOpsByStripe stably sorts ops by counter stripe index: insertion sort
+// for a single mutation's ~2L ops, counting sort over the 64 stripes for
+// larger batches. Both are stable, so a batch applies each stripe's ops in
+// exactly the order a sequence of single mutations would have — the
+// byte-equality the batched write path is proven against.
+func sortOpsByStripe(ops []tailOp) {
+	if len(ops) <= 32 {
+		for i := 1; i < len(ops); i++ {
+			for j := i; j > 0 && stripeIndex(ops[j-1].v) > stripeIndex(ops[j].v); j-- {
+				ops[j-1], ops[j] = ops[j], ops[j-1]
+			}
+		}
+		return
+	}
+	var next [numStripes]int
+	for i := range ops {
+		next[stripeIndex(ops[i].v)]++
+	}
+	sum := 0
+	for i := range next {
+		next[i], sum = sum, sum+next[i]
+	}
+	tmpp := tailOpPool.Get().(*[]tailOp)
+	tmp := slices.Grow((*tmpp)[:0], len(ops))[:len(ops)]
+	for _, op := range ops {
+		si := stripeIndex(op.v)
+		tmp[next[si]] = op
+		next[si]++
+	}
+	copy(ops, tmp)
+	*tmpp = tmp[:0]
+	tailOpPool.Put(tmpp)
 }
 
 // refLocked returns the live segRef for id, panicking on unknown or removed
@@ -942,6 +999,64 @@ func (s *Store) ArenaStats() (live, total int64) {
 	return s.liveNodes, int64(len(s.arena))
 }
 
+// compactMinGarbageFrac is the garbage fraction below which MaybeCompact
+// declines to compact. Compact pays a full copy of the live arena, so a
+// periodic trigger that fired unconditionally would repeatedly copy a huge,
+// mostly-live arena to reclaim slivers — at large n that costs orders of
+// magnitude more than the mutations between triggers.
+const compactMinGarbageFrac = 0.25
+
+// MaybeCompact runs Compact only when at least compactMinGarbageFrac of the
+// arena is garbage, reporting whether it compacted. The periodic triggers
+// (the maintainers' CompactEvery ticks, the window driver) call this
+// instead of Compact directly: the tick decides how often the ratio is
+// checked, the ratio decides whether a copy is worth it. The check is a
+// snapshot — a concurrent mutation may move the ratio before Compact takes
+// the segment lock — which costs only a marginally early or late
+// compaction, never correctness.
+func (s *Store) MaybeCompact() bool {
+	live, total := s.ArenaStats()
+	if total == 0 || float64(total-live) < compactMinGarbageFrac*float64(total) {
+		return false
+	}
+	s.Compact()
+	return true
+}
+
+// Compact rewrites every live segment's path into a fresh, densely packed
+// arena (in segment-ID order) and drops the old one, reclaiming the garbage
+// ReplaceTail and Remove leave behind. It changes no logical state: no
+// visit moves, no counter changes, Epoch()/StripeEpoch stamps stay put, and
+// nothing is written to the mutation log — a compaction commutes with
+// replaying the log, so WAL sequence numbers and checkpoint epochs are
+// unaffected. The stable-Path contract survives because previously returned
+// slices keep pointing into the old arena's backing array, which is never
+// written again (the garbage collector retains it while any such slice is
+// live); reads after Compact serve the same bytes from the new arena.
+// Safe to call concurrently with readers and with mutations of other
+// phases — it takes the segment lock exclusively, so no arena write can
+// overlap it. Returns the live slot count and the number reclaimed.
+func (s *Store) Compact() (live, reclaimed int64) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	old := int64(len(s.arena))
+	if old == s.liveNodes {
+		return s.liveNodes, 0
+	}
+	fresh := make([]graph.NodeID, 0, s.liveNodes)
+	for i := range s.segs {
+		r := &s.segs[i]
+		if !r.live {
+			continue
+		}
+		off := int64(len(fresh))
+		fresh = append(fresh, s.arena[r.off:r.off+int64(r.n)]...)
+		r.off = off
+	}
+	s.arena = fresh
+	return s.liveNodes, old - int64(len(fresh))
+}
+
 // ReplaceTail truncates the segment to its first keep nodes (keep >= 1) and
 // appends newTail, updating the visit index. It returns the number of
 // removed and added visits, which the maintainer accounts as update work.
@@ -954,40 +1069,136 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 	if noop {
 		return 0, 0
 	}
+	opsp := tailOpPool.Get().(*[]tailOp)
+	ops, removed, added := appendTailOps((*opsp)[:0], id, keep, newTail, old, r)
+	s.applyTailOps(ops)
+	*opsp = ops[:0]
+	tailOpPool.Put(opsp)
+	s.epoch.Add(1)
+	s.mutators.Add(-1)
+	return removed, added
+}
+
+// appendTailOps appends one tail replacement's counter/index ops in the
+// canonical order: terminal hand-off (when the endpoint moved), sided
+// terminal hand-off, visit removals descending from the old end down to
+// keep, then tail additions ascending. Returns ops plus the removed/added
+// visit counts. old and r are the pre-relocation path and ref.
+func appendTailOps(ops []tailOp, id SegmentID, keep int, newTail []graph.NodeID, old []graph.NodeID, r segRef) (_ []tailOp, removed, added int) {
 	n := keep + len(newTail)
 	newEnd := old[keep-1]
 	if len(newTail) > 0 {
 		newEnd = newTail[len(newTail)-1]
 	}
 	oldEnd := old[r.n-1]
-	opsp := tailOpPool.Get().(*[]tailOp)
-	ops := (*opsp)[:0]
 	if oldEnd != newEnd {
 		ops = append(ops,
-			tailOp{v: oldEnd, kind: tailTermDec},
-			tailOp{v: newEnd, kind: tailTermInc})
+			tailOp{id: id, v: oldEnd, kind: tailTermDec, side: r.side},
+			tailOp{id: id, v: newEnd, kind: tailTermInc, side: r.side})
 	}
 	if r.side >= 0 {
 		oldD := r.side.PendingAt(int(r.n) - 1)
 		newD := r.side.PendingAt(n - 1)
 		if oldEnd != newEnd || oldD != newD {
 			ops = append(ops,
-				tailOp{v: oldEnd, kind: tailSidedDec, d: oldD},
-				tailOp{v: newEnd, kind: tailSidedInc, d: newD})
+				tailOp{id: id, v: oldEnd, kind: tailSidedDec, d: oldD, side: r.side},
+				tailOp{id: id, v: newEnd, kind: tailSidedInc, d: newD, side: r.side})
 		}
 	}
 	for pos := int(r.n) - 1; pos >= keep; pos-- {
-		ops = append(ops, tailOp{v: old[pos], pos: int32(pos), kind: tailVisitRemove})
+		ops = append(ops, tailOp{id: id, v: old[pos], pos: int32(pos), kind: tailVisitRemove, side: r.side})
 		removed++
 	}
 	for i, v := range newTail {
-		ops = append(ops, tailOp{v: v, pos: int32(keep + i), kind: tailVisitAdd})
+		ops = append(ops, tailOp{id: id, v: v, pos: int32(keep + i), kind: tailVisitAdd, side: r.side})
 		added++
 	}
-	s.applyTailOps(ops, id, r.side)
+	return ops, removed, added
+}
+
+// TailMutation is one deferred tail replacement: truncate segment ID to its
+// first Keep nodes (Keep >= 1) and append NewTail.
+type TailMutation struct {
+	ID      SegmentID
+	Keep    int
+	NewTail []graph.NodeID
+}
+
+// relocated carries one batch entry's arena-phase result into the op-build
+// phase; a no-op entry keeps old == nil.
+type relocated struct {
+	old []graph.NodeID
+	r   segRef
+}
+
+var relocPool = sync.Pool{New: func() any { b := make([]relocated, 0, 16); return &b }}
+
+// ReplaceTailBatch applies a sequence of tail replacements as one bulk
+// mutation. The arena rewrites and mutation-log records of the whole batch
+// land under a single segment-lock acquisition, in slice order, so the log
+// reads exactly as if the calls had been sequential; the counter and
+// pending-index updates are then grouped so each touched counter stripe
+// pays one lock acquisition (and one StripeEpoch bump) for all of the
+// batch's positions instead of one per mutation. The resulting store state
+// — index bucket bytes included — is identical to calling ReplaceTail once
+// per entry in order, and the epoch advances by the number of non-no-op
+// entries exactly as the sequential calls would have. Entries may span
+// segments of different sides, and mutating the same segment twice in one
+// batch is legal (later entries see earlier ones' effects). Like
+// ReplaceTail, concurrent mutations of any segment in the batch must be
+// serialized by the caller. Returns the batch's total removed and added
+// visit counts.
+func (s *Store) ReplaceTailBatch(muts []TailMutation) (removed, added int) {
+	if len(muts) == 0 {
+		return 0, 0
+	}
+	if len(muts) == 1 {
+		return s.ReplaceTail(muts[0].ID, muts[0].Keep, muts[0].NewTail)
+	}
+	relp := relocPool.Get().(*[]relocated)
+	rel := (*relp)[:0]
+	nonNoops := 0
+	s.segMu.Lock()
+	func() {
+		defer s.segMu.Unlock()
+		for i := range muts {
+			m := &muts[i]
+			old, r, noop := s.relocateLocked(m.ID, m.Keep, m.NewTail)
+			if noop {
+				rel = append(rel, relocated{})
+				continue
+			}
+			if nonNoops == 0 {
+				s.mutators.Add(1)
+			}
+			nonNoops++
+			rel = append(rel, relocated{old: old, r: r})
+		}
+	}()
+	if nonNoops == 0 {
+		*relp = rel[:0]
+		relocPool.Put(relp)
+		return 0, 0
+	}
+	opsp := tailOpPool.Get().(*[]tailOp)
+	ops := (*opsp)[:0]
+	for i := range muts {
+		re := &rel[i]
+		if re.old == nil {
+			continue
+		}
+		m := &muts[i]
+		var rm, ad int
+		ops, rm, ad = appendTailOps(ops, m.ID, m.Keep, m.NewTail, re.old, re.r)
+		removed += rm
+		added += ad
+	}
+	s.applyTailOps(ops)
 	*opsp = ops[:0]
 	tailOpPool.Put(opsp)
-	s.epoch.Add(1)
+	*relp = rel[:0]
+	relocPool.Put(relp)
+	s.epoch.Add(int64(nonNoops))
 	s.mutators.Add(-1)
 	return removed, added
 }
@@ -1000,6 +1211,16 @@ func (s *Store) ReplaceTail(id SegmentID, keep int, newTail []graph.NodeID) (rem
 func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []graph.NodeID, r segRef, noop bool) {
 	s.segMu.Lock()
 	defer s.segMu.Unlock()
+	old, r, noop = s.relocateLocked(id, keep, newTail)
+	if !noop {
+		s.mutators.Add(1)
+	}
+	return old, r, noop
+}
+
+// relocateLocked is relocate's body for a caller already holding segMu; the
+// caller owns the in-flight mutator accounting (a batch counts once).
+func (s *Store) relocateLocked(id SegmentID, keep int, newTail []graph.NodeID) (old []graph.NodeID, r segRef, noop bool) {
 	r = s.refLocked(id)
 	if keep < 1 || keep > int(r.n) {
 		panic(fmt.Sprintf("walkstore: ReplaceTail keep=%d out of range for len=%d", keep, r.n))
@@ -1007,7 +1228,6 @@ func (s *Store) relocate(id SegmentID, keep int, newTail []graph.NodeID) (old []
 	if keep == int(r.n) && len(newTail) == 0 {
 		return nil, r, true
 	}
-	s.mutators.Add(1)
 	old = s.pathLocked(r)
 	off := int64(len(s.arena))
 	s.arena = append(s.arena, old[:keep]...)
@@ -1030,14 +1250,14 @@ func (s *Store) Remove(id SegmentID) {
 	p, r := s.retire(id)
 	opsp := tailOpPool.Get().(*[]tailOp)
 	ops := (*opsp)[:0]
-	ops = append(ops, tailOp{v: p[len(p)-1], kind: tailTermDec})
+	ops = append(ops, tailOp{id: id, v: p[len(p)-1], kind: tailTermDec, side: r.side})
 	if r.side >= 0 {
-		ops = append(ops, tailOp{v: p[len(p)-1], kind: tailSidedDec, d: r.side.PendingAt(len(p) - 1)})
+		ops = append(ops, tailOp{id: id, v: p[len(p)-1], kind: tailSidedDec, d: r.side.PendingAt(len(p) - 1), side: r.side})
 	}
 	for pos := len(p) - 1; pos >= 0; pos-- {
-		ops = append(ops, tailOp{v: p[pos], pos: int32(pos), kind: tailVisitRemove})
+		ops = append(ops, tailOp{id: id, v: p[pos], pos: int32(pos), kind: tailVisitRemove, side: r.side})
 	}
-	s.applyTailOps(ops, id, r.side)
+	s.applyTailOps(ops)
 	*opsp = ops[:0]
 	tailOpPool.Put(opsp)
 	src := p[0]
