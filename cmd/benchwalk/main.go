@@ -73,6 +73,7 @@ import (
 	"fastppr/internal/engine"
 	"fastppr/internal/gen"
 	"fastppr/internal/graph"
+	"fastppr/internal/lint"
 	"fastppr/internal/pagerank"
 	"fastppr/internal/persist"
 	"fastppr/internal/salsa"
@@ -287,9 +288,16 @@ type report struct {
 	Seed         uint64  `json:"seed"`
 	// Workload names the arrival-stream shape of the main storm (-workload);
 	// CompactEvery is the maintainers' arena-compaction period (0 = off).
-	Workload     string      `json:"workload,omitempty"`
-	CompactEvery int         `json:"compact_every,omitempty"`
-	Runs         []runResult `json:"runs"`
+	Workload     string `json:"workload,omitempty"`
+	CompactEvery int    `json:"compact_every,omitempty"`
+	// LintClean records the walklint verdict on the measured tree
+	// (-lintclean; absent when the caller did not record one), and
+	// LintVersion the compiled-in analyzer-suite revision that judged it —
+	// so a committed report also attests the tree it measured was
+	// invariant-clean. -verify rejects a report claiming lint_clean=false.
+	LintClean   *bool       `json:"lint_clean,omitempty"`
+	LintVersion string      `json:"lint_version,omitempty"`
+	Runs        []runResult `json:"runs"`
 	// SpeedupBuild is max-worker build throughput over the 1-worker run —
 	// only meaningful when num_cpu > 1; the recorded core count makes a
 	// committed single-core ~1x self-explanatory.
@@ -353,6 +361,7 @@ func main() {
 		queries  = flag.Int("queries", 20, "personalized SALSA queries to profile (0 skips the query profiles)")
 		qwalks   = flag.Int("querywalks", 2_000, "Monte Carlo walks per personalized query")
 		verify   = flag.String("verify", "", "validate an existing report JSON (parses, non-zero throughputs) and exit")
+		lintok   = flag.String("lintclean", "", "record the walklint verdict (true or false) as lint_clean/lint_version provenance; empty omits the fields")
 		gogc     = flag.Int("gogc", 300, "GOGC during the benchmark (walk stores churn arena garbage; recorded in the report)")
 		walpol   = flag.String("wal", "sweep", "durability sweep policy: sweep, off, record, batch:N, or interval:DUR")
 		snapdir  = flag.String("snapshot", "", "directory for WAL/snapshot artifacts (default: a temp dir, removed afterwards)")
@@ -421,6 +430,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var lintClean *bool
+	lintVersion := ""
+	if *lintok != "" {
+		v, err := strconv.ParseBool(*lintok)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchwalk: -lintclean must be true or false, got %q\n", *lintok)
+			os.Exit(2)
+		}
+		lintClean = &v
+		lintVersion = lint.Version
+	}
 
 	if *crashchild != "" {
 		// Re-exec'd by runCrashHarness; no signal handling — the parent kills
@@ -456,6 +476,8 @@ func main() {
 			R:            *r,
 			Eps:          *eps,
 			Seed:         *seed,
+			LintClean:    lintClean,
+			LintVersion:  lintVersion,
 			Crash:        cr,
 		}
 		writeReport(*out, rep)
@@ -490,6 +512,8 @@ func main() {
 		Seed:         *seed,
 		Workload:     *workload,
 		CompactEvery: *compactN,
+		LintClean:    lintClean,
+		LintVersion:  lintVersion,
 	}
 
 	for _, w := range counts {
@@ -715,6 +739,16 @@ func verifyReport(path string) error {
 	var rep report
 	if err := json.Unmarshal(buf, &rep); err != nil {
 		return fmt.Errorf("%s does not parse as a benchwalk report: %w", path, err)
+	}
+	// Lint provenance, when recorded, must attest a clean tree and name the
+	// analyzer-suite revision that judged it.
+	if rep.LintClean != nil {
+		if !*rep.LintClean {
+			return fmt.Errorf("%s records lint_clean=false: the measured tree failed walklint", path)
+		}
+		if rep.LintVersion == "" {
+			return fmt.Errorf("%s records a walklint verdict without lint_version provenance", path)
+		}
 	}
 	if rep.Crash != nil {
 		if len(rep.Crash.Runs) == 0 {

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allow annotation is the reviewed escape hatch for conservative
+// analyzers:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// mandatory — an allow is a review artifact, not a mute button — and the
+// analyzer name must exist, so a typo cannot silently disable a check.
+
+const allowPrefix = "//lint:allow"
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans every comment in the package for allow annotations.
+// It returns the set of (file, line, analyzer) suppressions — each
+// annotation covers its own line and the line below — plus diagnostics for
+// malformed annotations.
+func collectAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer) (map[allowKey]bool, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := make(map[allowKey]bool)
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      fset.Position(pos),
+			Analyzer: "allow",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad(c.Pos(), "allow annotation names no analyzer")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad(c.Pos(), "allow annotation names unknown analyzer %q", name)
+					continue
+				}
+				if len(fields) < 2 {
+					bad(c.Pos(), "allow annotation for %q has no reason; a reviewed justification is required", name)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				allows[allowKey{p.Filename, p.Line, name}] = true
+				allows[allowKey{p.Filename, p.Line + 1, name}] = true
+			}
+		}
+	}
+	return allows, diags
+}
+
+func filterAllowed(diags []Diagnostic, allows map[allowKey]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity per struct field:
+//
+//   - A field whose address is ever passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, …), atomic.LoadUint64(&s.n), …) must be
+//     accessed through sync/atomic everywhere in the package; a plain read
+//     or write of such a field is a data race the race detector only finds
+//     when the interleaving happens to bite.
+//   - A field of typed-atomic type (atomic.Int64, atomic.Bool, …) may only
+//     be used as a method-call receiver or have its address taken; reading
+//     or assigning the value copies the atomic and tears the invariant.
+//
+// The analysis is per package: the tree keeps atomic fields unexported, so
+// every access site is visible to one pass.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field touched via sync/atomic anywhere must be touched atomically everywhere",
+	Run:  runAtomicField,
+}
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument is the address of the word they operate on.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	// First pass: collect every field object whose address reaches a
+	// sync/atomic call.
+	atomicFields := make(map[*types.Var]token.Pos)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fld := addressedField(pass, arg); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Second pass: flag plain accesses of collected fields, and value
+	// copies of typed atomics.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := selectedField(pass, sel)
+			if fld == nil {
+				return true
+			}
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			if _, isAtomic := atomicFields[fld]; isAtomic {
+				if !isAtomicContext(pass, stack) {
+					pass.Reportf(sel.Pos(),
+						"plain access of field %s, which is accessed via sync/atomic elsewhere in the package; use sync/atomic everywhere", fld.Name())
+				}
+				return true
+			}
+			if isTypedAtomic(fld.Type()) && !isTypedAtomicUse(parent, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s has atomic type %s but is used as a value; call its methods (or take its address) instead of copying it", fld.Name(), typeShort(fld.Type()))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicFuncCall reports whether call invokes a sync/atomic word
+// function.
+func isAtomicFuncCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f and returns f's field object, or nil.
+func addressedField(pass *Pass, e ast.Expr) *types.Var {
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := u.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(pass, sel)
+}
+
+// selectedField resolves a selector to a struct field object declared in
+// this package, or nil.
+func selectedField(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok {
+		return nil
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() != pass.Pkg {
+		return nil
+	}
+	return v
+}
+
+// isAtomicContext reports whether the innermost selector on the stack sits
+// under &x.f inside a sync/atomic call's argument list.
+func isAtomicContext(pass *Pass, stack []ast.Node) bool {
+	// stack = [... call, unary&, selector]
+	if len(stack) < 3 {
+		return false
+	}
+	u, ok := stack[len(stack)-2].(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return false
+	}
+	call, ok := stack[len(stack)-3].(*ast.CallExpr)
+	return ok && isAtomicFuncCall(pass, call)
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed atomics.
+func isTypedAtomic(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+// isTypedAtomicUse reports whether parent uses the atomic-typed selector
+// legally: as the receiver of a method call (s.n.Add(1) parses as a
+// selector whose X is our selector) or with its address taken.
+func isTypedAtomicUse(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// s.n.Load() — our selector is the X of a method selector.
+		return p.X == sel
+	case *ast.UnaryExpr:
+		return p.Op == token.AND && p.X == sel
+	}
+	return false
+}
+
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bufio"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// DocAnchor is the documentation discipline as an analyzer, replacing the
+// CI shell greps it grew out of: every internal package carries a doc.go
+// anchoring it to docs/DESIGN.md, and every `DESIGN.md#anchor` reference in
+// a doc.go must resolve to a real heading under GitHub's slug rules
+// (lowercase, punctuation stripped, spaces to hyphens). Renaming a DESIGN.md
+// section without updating the package docs is a vet failure, with the
+// offending reference pinpointed to the comment line that holds it.
+//
+// DESIGN.md is resolved by walking up from the package directory to the
+// nearest docs/DESIGN.md, so the fixture tree can carry its own.
+var DocAnchor = &Analyzer{
+	Name: "docanchor",
+	Doc:  "internal packages carry a doc.go whose DESIGN.md anchors resolve to real headings",
+	Run:  runDocAnchor,
+}
+
+var anchorRe = regexp.MustCompile(`DESIGN\.md#([A-Za-z0-9_-]+)`)
+
+func runDocAnchor(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return nil
+	}
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") || strings.HasSuffix(path, ".test") {
+		return nil // external test packages and synthetic test mains ride on the base package's doc.go
+	}
+
+	var docFile *ast.File
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "doc.go" {
+			docFile = f
+			break
+		}
+	}
+	if docFile == nil {
+		if len(pass.Files) > 0 {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"internal package %s has no doc.go; every internal package documents the paper section it implements (docs/DESIGN.md)", path)
+		}
+		return nil
+	}
+
+	slugs, designPath, err := designSlugs(pass.Dir)
+	if err != nil {
+		pass.Reportf(docFile.Name.Pos(), "cannot resolve docs/DESIGN.md above %s: %v", pass.Dir, err)
+		return nil
+	}
+
+	refs := 0
+	for _, cg := range docFile.Comments {
+		for _, c := range cg.List {
+			for _, m := range anchorRe.FindAllStringSubmatchIndex(c.Text, -1) {
+				refs++
+				anchor := c.Text[m[2]:m[3]]
+				if !slugs[anchor] {
+					pass.Reportf(c.Pos()+token.Pos(m[0]),
+						"doc.go references missing DESIGN.md anchor #%s (checked %s)", anchor, designPath)
+				}
+			}
+		}
+	}
+	if refs == 0 {
+		pass.Reportf(docFile.Name.Pos(),
+			"doc.go references no docs/DESIGN.md section anchor; add a DESIGN.md#<slug> link to the section this package implements")
+	}
+	return nil
+}
+
+// designSlugs walks up from dir to the nearest docs/DESIGN.md and returns
+// the GitHub slug set of its headings.
+func designSlugs(dir string) (map[string]bool, string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := 0; i < 12; i++ {
+		candidate := filepath.Join(d, "docs", "DESIGN.md")
+		if _, err := os.Stat(candidate); err == nil {
+			slugs, err := headingSlugs(candidate)
+			return slugs, candidate, err
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			break
+		}
+		d = parent
+	}
+	return nil, "", os.ErrNotExist
+}
+
+// headingSlugs extracts every markdown heading of file as a GitHub anchor
+// slug: lowercase, characters outside [a-z0-9 -] stripped, spaces to
+// hyphens. Duplicate headings get GitHub's -1, -2, … suffixes.
+func headingSlugs(file string) (map[string]bool, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	slugs := make(map[string]bool)
+	counts := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	inFence := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		trimmed := line
+		level := 0
+		for level < len(trimmed) && trimmed[level] == '#' {
+			level++
+		}
+		if level == 0 || level > 6 || level == len(trimmed) || trimmed[level] != ' ' {
+			continue
+		}
+		slug := Slugify(trimmed[level+1:])
+		if n := counts[slug]; n > 0 {
+			slugs[slug+"-"+strconv.Itoa(n)] = true
+		} else {
+			slugs[slug] = true
+		}
+		counts[slug]++
+	}
+	return slugs, sc.Err()
+}
+
+// Slugify applies GitHub's heading-anchor rules to one heading text.
+func Slugify(heading string) string {
+	heading = strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range heading {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MutationLog checks the DESIGN.md §8 journal-ordering rule: every call on
+// the walk store's MutationLog hook must fire inside the same segMu
+// critical section as the mutation it records, so WAL order equals mutation
+// order and each record's sequence number is the post-mutation epoch.
+// Concretely, a call to a Log* method on a MutationLog-typed value must be
+//
+//   - dominated by a write acquisition of the segMu segment lock (an RLock
+//     does not serialize the journal), with no release in between, and
+//   - post-dominated by its release — a deferred Unlock registered under
+//     the lock, or an explicit Unlock later in the function;
+//
+// unless the enclosing function declares the caller-holds contract: a name
+// ending in "Locked", or a doc comment stating that the caller holds segMu.
+// A *Locked function that also acquires segMu itself is flagged — that is
+// either a self-deadlock or a misdeclared contract.
+//
+// The traversal is branch-sensitive: an if-arm that ends in panic or
+// return (the unlock-before-panic idiom) does not leak its release into
+// the fall-through path.
+var MutationLog = &Analyzer{
+	Name: "mutationlog",
+	Doc:  "MutationLog hooks fire inside the segMu critical section of the mutation they record",
+	Run:  runMutationLog,
+}
+
+var callerHoldsRe = regexp.MustCompile(`(?i)(caller|callers)[^.]*hold(s|ing)?[^.]*segMu|hold(s|ing)[^.]*segMu`)
+
+func runMutationLog(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, doc *ast.CommentGroup, body *ast.BlockStmt) {
+			checkMutationLogFunc(pass, name, doc, body)
+		})
+	}
+	return nil
+}
+
+// mlogState is the lock state along one control-flow path.
+type mlogState struct {
+	wHeld   int
+	rHeld   int
+	inDefer bool // a deferred segMu.Unlock is registered
+}
+
+// mergeStates is the fall-through join: conservative on domination (a path
+// without the lock must be reported) and on deferral.
+func mergeStates(a, b mlogState) mlogState {
+	return mlogState{
+		wHeld:   min(a.wHeld, b.wHeld),
+		rHeld:   min(a.rHeld, b.rHeld),
+		inDefer: a.inDefer && b.inDefer,
+	}
+}
+
+type mlogScan struct {
+	pass     *Pass
+	fname    string
+	exempt   bool
+	state    mlogState
+	unlockAt []token.Pos // every explicit or deferred write release, any path
+}
+
+func checkMutationLogFunc(pass *Pass, name string, doc *ast.CommentGroup, body *ast.BlockStmt) {
+	exempt := strings.HasSuffix(name, "Locked") ||
+		(doc != nil && callerHoldsRe.MatchString(doc.Text()))
+	s := &mlogScan{pass: pass, fname: name, exempt: exempt}
+	if exempt {
+		// The contract says segMu is already held on entry.
+		s.state.wHeld = 1
+		s.state.inDefer = true // released by the caller
+	}
+	// Pre-collect every write release so post-domination can ask "does any
+	// release appear later in the source?".
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit && n.Pos() != body.Pos() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if kind, ok := segMuOp(pass, call); ok && kind == evUnlockW {
+				s.unlockAt = append(s.unlockAt, call.Pos())
+			}
+		}
+		return true
+	})
+	s.stmts(body.List)
+}
+
+func (s *mlogScan) stmts(list []ast.Stmt) bool {
+	for _, st := range list {
+		if s.stmt(st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *mlogScan) stmt(st ast.Stmt) bool {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return s.stmts(st.List)
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.scanExpr(st.Cond)
+		pre := s.state
+		thenTerm := s.stmts(st.Body.List)
+		afterThen := s.state
+		s.state = pre
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = s.stmt(st.Else)
+		}
+		afterElse := s.state
+		switch {
+		case thenTerm && elseTerm:
+			s.state = pre
+			return st.Else != nil
+		case thenTerm:
+			s.state = afterElse
+		case elseTerm:
+			s.state = afterThen
+		default:
+			s.state = mergeStates(afterThen, afterElse)
+		}
+		return false
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.scanExpr(st.Cond)
+		}
+		s.stmts(st.Body.List)
+		if st.Post != nil {
+			s.stmt(st.Post)
+		}
+		return false
+	case *ast.RangeStmt:
+		s.scanExpr(st.X)
+		s.stmts(st.Body.List)
+		return false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.scanExpr(st.Tag)
+		}
+		s.armsMerge(st.Body)
+		return false
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.stmt(st.Assign)
+		s.armsMerge(st.Body)
+		return false
+	case *ast.SelectStmt:
+		s.armsMerge(st.Body)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.scanExpr(e)
+		}
+		return true
+	case *ast.BranchStmt:
+		return st.Tok != token.FALLTHROUGH
+	case *ast.DeferStmt:
+		if kind, ok := segMuOp(s.pass, st.Call); ok && kind == evUnlockW {
+			s.state.inDefer = true
+		}
+		return false
+	case *ast.ExprStmt:
+		s.scanExpr(st.X)
+		return isPanicCall(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.scanExpr(e)
+		}
+		return false
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			s.scanExpr(a)
+		}
+		return false
+	default:
+		if st != nil {
+			s.scanNode(st)
+		}
+		return false
+	}
+}
+
+func (s *mlogScan) armsMerge(body *ast.BlockStmt) {
+	pre := s.state
+	merged := pre
+	for _, c := range body.List {
+		var exprs []ast.Expr
+		var comm ast.Stmt
+		var arm []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			exprs, arm = c.List, c.Body
+		case *ast.CommClause:
+			comm, arm = c.Comm, c.Body
+		default:
+			continue
+		}
+		s.state = pre
+		for _, e := range exprs {
+			s.scanExpr(e)
+		}
+		if comm != nil {
+			s.stmt(comm)
+		}
+		if s.stmts(arm) {
+			continue
+		}
+		merged = mergeStates(merged, s.state)
+	}
+	s.state = merged
+}
+
+func (s *mlogScan) scanExpr(e ast.Expr) { s.scanNode(e) }
+
+func (s *mlogScan) scanNode(n ast.Node) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if _, isLit := child.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := child.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, ok := segMuOp(s.pass, call); ok {
+			s.applyOp(kind, call.Pos())
+			return true
+		}
+		if name, ok := mutationLogCall(s.pass, call); ok {
+			s.logCall(name, call.Pos())
+		}
+		return true
+	})
+}
+
+func (s *mlogScan) applyOp(kind mlogEventKind, pos token.Pos) {
+	switch kind {
+	case evLockW:
+		if s.exempt {
+			s.pass.Reportf(pos,
+				"%s declares the caller-holds-segMu contract but acquires segMu itself (self-deadlock)", s.fname)
+		}
+		s.state.wHeld++
+	case evRLock:
+		s.state.rHeld++
+	case evUnlockW:
+		if s.state.wHeld > 0 {
+			s.state.wHeld--
+		}
+	case evRUnlock:
+		if s.state.rHeld > 0 {
+			s.state.rHeld--
+		}
+	}
+}
+
+func (s *mlogScan) logCall(name string, pos token.Pos) {
+	switch {
+	case s.state.wHeld == 0 && s.state.rHeld > 0:
+		// The read lock admits concurrent loggers, so journal order is no
+		// longer mutation order.
+		s.pass.Reportf(pos,
+			"%s fires under segMu.RLock; a read lock does not serialize the journal", name)
+	case s.state.wHeld == 0:
+		s.pass.Reportf(pos,
+			"%s is not dominated by a segMu write acquisition; the §8 rule requires journal order == mutation order", name)
+	case !s.state.inDefer && !s.unlockAfter(pos):
+		s.pass.Reportf(pos,
+			"%s is not post-dominated by a segMu release; unlock after logging (or defer the unlock)", name)
+	}
+}
+
+func (s *mlogScan) unlockAfter(pos token.Pos) bool {
+	for _, p := range s.unlockAt {
+		if p > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// mlogEventKind classifies segMu lock operations.
+type mlogEventKind int
+
+const (
+	evLockW mlogEventKind = iota
+	evRLock
+	evUnlockW
+	evRUnlock
+)
+
+// segMuOp classifies a call as a segMu lock operation. Only the walk
+// store's segment lock shape counts: a sync.RWMutex field named segMu.
+func segMuOp(pass *Pass, call *ast.CallExpr) (mlogEventKind, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	fieldSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	if classifySyncMutex(pass, fieldSel) != classStoreSeg {
+		return 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return evLockW, true
+	case "RLock":
+		return evRLock, true
+	case "Unlock":
+		return evUnlockW, true
+	case "RUnlock":
+		return evRUnlock, true
+	}
+	return 0, false
+}
+
+// mutationLogCall reports whether call invokes a Log* method on a value
+// whose static type is a named MutationLog interface, returning a display
+// name.
+func mutationLogCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Log") {
+		return "", false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "MutationLog" {
+		return "", false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return "", false
+	}
+	return "MutationLog." + sel.Sel.Name, true
+}

@@ -1,0 +1,31 @@
+// Package allowfix exercises the //lint:allow annotation mechanism under
+// the full analyzer suite: a valid annotation suppresses its finding, an
+// unknown analyzer name is itself an unsuppressable finding, and other
+// //lint: directives are not ours to judge.
+package allowfix
+
+import "stripes"
+
+type maintainer struct {
+	segs stripes.MutexSet
+}
+
+func suppressed(m *maintainer, i, j int) {
+	m.segs.Lock(i)
+	//lint:allow lockorder reviewed fixture double-lock; exercises suppression
+	m.segs.Lock(j)
+	m.segs.Unlock(j)
+	m.segs.Unlock(i)
+}
+
+func unknownName(m *maintainer, i int) {
+	m.segs.Lock(i)
+	//lint:allow lockordering typo'd analyzer name — want "unknown analyzer"
+	m.segs.Unlock(i)
+}
+
+func notOurs(m *maintainer, i int) {
+	//lint:allowance is a different directive and is ignored
+	m.segs.Lock(i)
+	m.segs.Unlock(i)
+}

@@ -1,0 +1,47 @@
+// Package atomicfix exercises the atomicfield analyzer: all-or-nothing
+// atomicity per field, and no value copies of typed atomics.
+package atomicfix
+
+import "sync/atomic"
+
+type counters struct {
+	visits int64        // accessed via atomic.AddInt64 below → atomic everywhere
+	plain  int64        // never touched atomically → plain access is fine
+	epoch  atomic.Int64 // typed atomic → methods or address only
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.visits, 1)
+	c.epoch.Add(1)
+}
+
+func readClean(c *counters) int64 {
+	return atomic.LoadInt64(&c.visits) + c.epoch.Load()
+}
+
+func plainClean(c *counters) int64 {
+	c.plain++
+	return c.plain
+}
+
+func mixedRead(c *counters) int64 {
+	return c.visits // want "plain access of field visits"
+}
+
+func mixedWrite(c *counters) {
+	c.visits = 0 // want "plain access of field visits"
+}
+
+func copyTyped(c *counters) {
+	v := c.epoch // want "field epoch has atomic type atomic.Int64 but is used as a value"
+	_ = v
+}
+
+func addrTypedClean(c *counters) *atomic.Int64 {
+	return &c.epoch
+}
+
+func allowedMix(c *counters) int64 {
+	//lint:allow atomicfield constructor-only read before the struct is published
+	return c.visits
+}

@@ -1,0 +1,104 @@
+// Package walkstore (fixture) exercises the determinism analyzer: the
+// package is named into the deterministic set, so wall-clock reads, global
+// RNG draws, and order-sensitive map ranges must be flagged here.
+package walkstore
+
+import (
+	mrand "math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+type wlog struct{}
+
+func (*wlog) LogAdd(id uint64) {}
+
+type MutationLog interface {
+	LogAdd(id uint64)
+}
+
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in deterministic package walkstore"
+	return t.UnixNano()
+}
+
+func wallClockSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in deterministic package walkstore"
+}
+
+func globalRand() int {
+	return mrand.Intn(10) // want "global rand.Intn in deterministic package walkstore"
+}
+
+func globalRandV2() uint64 {
+	return randv2.Uint64() // want "global rand.Uint64 in deterministic package walkstore"
+}
+
+func seededClean(seed int64) int {
+	r := mrand.New(mrand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func seededV2Clean(a, b uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(a, b))
+	return r.Uint64()
+}
+
+func mapRangeRNG(m map[int]int, r *mrand.Rand) int {
+	s := 0
+	for k := range m { // want "range over map feeds an RNG draw"
+		s += r.Intn(k + 1)
+	}
+	return s
+}
+
+func mapRangeWAL(m map[uint64]int, log *wlog) {
+	for id := range m { // want "range over map feeds a WAL record"
+		log.LogAdd(id)
+	}
+}
+
+func mapRangeAppend(m map[int]int) []int {
+	var out []int
+	for k := range m { // want "range over map appends to out declared outside the loop"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapRangeFieldAppend(m map[int]int, b *batch) {
+	for k := range m { // want "range over map appends to b.ids declared outside the loop"
+		b.ids = append(b.ids, k)
+	}
+}
+
+type batch struct {
+	ids []int
+}
+
+func sortedKeysClean(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//lint:allow determinism key collection only; sorted below before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func sliceRangeClean(xs []int, r *mrand.Rand) int {
+	s := 0
+	for range xs {
+		s += r.Intn(7)
+	}
+	return s
+}
+
+func mapRangeHarmlessClean(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

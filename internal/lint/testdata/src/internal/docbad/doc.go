@@ -1,0 +1,6 @@
+// Package docbad is a fixture internal package with one resolving anchor,
+// DESIGN.md#6-concurrency-model, and several that must be flagged:
+// a renamed section DESIGN.md#7-the-pending-position-index, want "missing DESIGN.md anchor #7-the-pending-position-index"
+// a fenced heading DESIGN.md#99-a-heading-inside-a-code-fence-must-not-become-an-anchor, want "missing DESIGN.md anchor #99-a"
+// and an over-suffixed duplicate DESIGN.md#notes-2. want "missing DESIGN.md anchor #notes-2"
+package docbad

@@ -1,0 +1,5 @@
+// Package docgood is a fixture internal package whose anchors all resolve:
+// the lock discipline lives in DESIGN.md#6-concurrency-model (specifically
+// DESIGN.md#lock-order), durability in DESIGN.md#8-durability--recovery,
+// and the second notes section is DESIGN.md#notes-1.
+package docgood

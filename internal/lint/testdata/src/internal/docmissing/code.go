@@ -1,0 +1,4 @@
+// Package docmissing is a fixture internal package with no doc.go file.
+package docmissing // want "has no doc.go"
+
+func identity(x int) int { return x }

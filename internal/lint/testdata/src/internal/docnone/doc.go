@@ -1,0 +1,3 @@
+// Package docnone is a fixture internal package whose doc.go never links a
+// design section at all.
+package docnone // want "references no docs/DESIGN.md section anchor"

@@ -1,0 +1,207 @@
+// Package lockorderfix exercises the lockorder analyzer: the §6 named lock
+// sets reproduced in miniature, with every violation class and the clean
+// idioms that must not be flagged.
+package lockorderfix
+
+import (
+	"sync"
+
+	"stripes"
+)
+
+type maintainer struct {
+	srcMu   stripes.MutexSet // level 1
+	endMu   stripes.MutexSet // level 1
+	segs    stripes.MutexSet // level 2
+	knownMu sync.Mutex       // exclusive
+}
+
+type Store struct {
+	segMu sync.RWMutex // level 3
+}
+
+type counterStripe struct {
+	mu sync.Mutex // level 4
+}
+
+type shard struct {
+	mu sync.RWMutex // level 5
+}
+
+// --- raw stripe misuse ---
+
+func doubleRaw(m *maintainer, i, j int) {
+	m.segs.Lock(i)
+	m.segs.Lock(j) // want "second raw stripe lock on m.segs"
+	m.segs.Unlock(j)
+	m.segs.Unlock(i)
+}
+
+func rawExtendsSet(m *maintainer, keys []uint64, buf []int) {
+	buf = m.segs.LockKeys(keys, buf)
+	m.segs.Lock(0) // want "extends a held multi-lock"
+	m.segs.Unlock(0)
+	m.segs.UnlockSet(buf)
+}
+
+func ofLocalDouble(m *maintainer, a, b uint64) {
+	la := m.srcMu.Of(a)
+	lb := m.srcMu.Of(b)
+	la.Lock()
+	lb.Lock() // want "second raw stripe lock on m.srcMu"
+	lb.Unlock()
+	la.Unlock()
+}
+
+func inlineOfDouble(m *maintainer, a, b uint64) {
+	m.srcMu.Of(a).Lock()
+	m.srcMu.Of(b).Lock() // want "second raw stripe lock on m.srcMu"
+	m.srcMu.Of(b).Unlock()
+	m.srcMu.Of(a).Unlock()
+}
+
+func rawInLoop(m *maintainer, keys []uint64) {
+	for _, k := range keys {
+		m.segs.Lock(m.segs.Index(k)) // want "acquired inside a loop and still held at loop end"
+	}
+}
+
+func rawInLoopReleased(m *maintainer, keys []uint64) {
+	for _, k := range keys {
+		i := m.segs.Index(k)
+		m.segs.Lock(i)
+		m.segs.Unlock(i)
+	}
+}
+
+// --- ordered primitives are clean ---
+
+func pairClean(m *maintainer, a, b uint64) {
+	i, j := m.endMu.LockPair(a, b)
+	m.endMu.UnlockPair(i, j)
+}
+
+func setClean(m *maintainer, keys []uint64, buf []int) {
+	buf = m.segs.LockKeys(keys, buf)
+	defer m.segs.UnlockSet(buf)
+}
+
+func singleRawClean(m *maintainer, i int) {
+	m.segs.Lock(i)
+	m.segs.Unlock(i)
+}
+
+// --- cross-level order ---
+
+func downwardClean(m *maintainer, st *Store, cs *counterStripe, i int) {
+	m.srcMu.Lock(i)
+	st.segMu.Lock()
+	cs.mu.Lock()
+	cs.mu.Unlock()
+	st.segMu.Unlock()
+	m.srcMu.Unlock(i)
+}
+
+func upward(st *Store, cs *counterStripe) {
+	cs.mu.Lock()
+	st.segMu.Lock() // want "acquisitions go downward only"
+	st.segMu.Unlock()
+	cs.mu.Unlock()
+}
+
+func upwardStripe(m *maintainer, st *Store, i int) {
+	st.segMu.Lock()
+	m.srcMu.Lock(i) // want "acquisitions go downward only"
+	m.srcMu.Unlock(i)
+	st.segMu.Unlock()
+}
+
+func sameLevelCrossSet(m *maintainer, i, j int) {
+	m.srcMu.Lock(i)
+	m.endMu.Lock(j) // want "within-level multi-lock must go through an ordered primitive"
+	m.endMu.Unlock(j)
+	m.srcMu.Unlock(i)
+}
+
+func selfDeadlock(st *Store) {
+	st.segMu.Lock()
+	st.segMu.Lock() // want "self-deadlock"
+	st.segMu.Unlock()
+	st.segMu.Unlock()
+}
+
+// --- knownMu exclusivity ---
+
+func knownThenOther(m *maintainer, st *Store) {
+	m.knownMu.Lock()
+	st.segMu.Lock() // want "while holding knownMu"
+	st.segMu.Unlock()
+	m.knownMu.Unlock()
+}
+
+func otherThenKnown(m *maintainer, st *Store) {
+	st.segMu.Lock()
+	m.knownMu.Lock() // want "knownMu acquired while holding"
+	m.knownMu.Unlock()
+	st.segMu.Unlock()
+}
+
+func knownAloneClean(m *maintainer) {
+	m.knownMu.Lock()
+	m.knownMu.Unlock()
+}
+
+// --- branch sensitivity ---
+
+// lockPairShards is the graph.lockPair idiom: the two arms acquire the same
+// pair in mirrored order, which is one ordered acquisition, not nesting.
+func lockPairShards(a, b *shard, i, j int) {
+	if i < j {
+		a.mu.Lock()
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+		a.mu.Lock()
+	}
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func unorderedShards(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "within-level multi-lock must go through an ordered primitive"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// earlyReturnClean releases on the error path and the main path; the arms
+// must not pollute each other.
+func earlyReturnClean(st *Store, bad bool) {
+	st.segMu.Lock()
+	if bad {
+		st.segMu.Unlock()
+		return
+	}
+	st.segMu.Unlock()
+}
+
+// goroutineScopeClean: the literal is its own scope — its acquisition must
+// not count as nesting under the caller's lock.
+func goroutineScopeClean(st *Store, cs *counterStripe) {
+	cs.mu.Lock()
+	go func() {
+		st.segMu.Lock()
+		st.segMu.Unlock()
+	}()
+	cs.mu.Unlock()
+}
+
+// --- the reviewed escape hatch ---
+
+func allowedDouble(m *maintainer, i, j int) {
+	m.segs.Lock(i)
+	//lint:allow lockorder fixture demonstrates a reviewed suppression
+	m.segs.Lock(j)
+	m.segs.Unlock(j)
+	m.segs.Unlock(i)
+}

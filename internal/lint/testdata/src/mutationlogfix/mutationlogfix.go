@@ -1,0 +1,116 @@
+// Package mutationlogfix exercises the mutationlog analyzer: the §8 rule
+// that MutationLog hooks fire inside the segMu critical section of the
+// mutation they record.
+package mutationlogfix
+
+import "sync"
+
+type MutationLog interface {
+	LogAdd(id uint64)
+	LogRemove(id uint64)
+}
+
+type Store struct {
+	segMu sync.RWMutex
+	mlog  MutationLog
+	n     int
+}
+
+func addClean(s *Store, id uint64) {
+	s.segMu.Lock()
+	s.n++
+	if s.mlog != nil {
+		s.mlog.LogAdd(id)
+	}
+	s.segMu.Unlock()
+}
+
+func addDeferClean(s *Store, id uint64) {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	s.n++
+	s.mlog.LogAdd(id)
+}
+
+// panicPathClean is the AddBatchSided shape: an unlock on a terminating
+// branch must not count as releasing the lock on the fall-through path.
+func panicPathClean(s *Store, id uint64, bad bool) {
+	s.segMu.Lock()
+	if bad {
+		s.segMu.Unlock()
+		panic("bad batch")
+	}
+	s.n++
+	s.mlog.LogAdd(id)
+	s.segMu.Unlock()
+}
+
+func earlyReturnClean(s *Store, id uint64, skip bool) {
+	s.segMu.Lock()
+	if skip {
+		s.segMu.Unlock()
+		return
+	}
+	s.mlog.LogAdd(id)
+	s.segMu.Unlock()
+}
+
+func unlocked(s *Store, id uint64) {
+	s.mlog.LogAdd(id) // want "not dominated by a segMu write acquisition"
+}
+
+func underRLock(s *Store, id uint64) {
+	s.segMu.RLock()
+	s.mlog.LogAdd(id) // want "fires under segMu.RLock"
+	s.segMu.RUnlock()
+}
+
+func afterRelease(s *Store, id uint64) {
+	s.segMu.Lock()
+	s.n++
+	s.segMu.Unlock()
+	s.mlog.LogRemove(id) // want "not dominated by a segMu write acquisition"
+}
+
+// maybeUnlocked releases on a non-terminating branch, so the log call runs
+// without the lock whenever cond held.
+func maybeUnlocked(s *Store, id uint64, cond bool) {
+	s.segMu.Lock()
+	if cond {
+		s.segMu.Unlock()
+	}
+	s.mlog.LogAdd(id) // want "not dominated by a segMu write acquisition"
+	if !cond {
+		s.segMu.Unlock()
+	}
+}
+
+func neverReleased(s *Store, id uint64) {
+	s.segMu.Lock()
+	s.mlog.LogAdd(id) // want "not post-dominated by a segMu release"
+}
+
+// relocateLocked mirrors the walkstore convention: the Locked suffix is the
+// caller-holds contract.
+func relocateLocked(s *Store, id uint64) {
+	s.n++
+	s.mlog.LogRemove(id)
+}
+
+// applyTail appends the tail record. The caller is responsible for holding
+// segMu for the whole batch.
+func applyTail(s *Store, id uint64) {
+	s.mlog.LogAdd(id)
+}
+
+// badLocked claims the contract and takes the lock anyway.
+func badLocked(s *Store, id uint64) {
+	s.segMu.Lock() // want "declares the caller-holds-segMu contract but acquires segMu itself"
+	s.mlog.LogAdd(id)
+	s.segMu.Unlock()
+}
+
+func allowedUnlocked(s *Store, id uint64) {
+	//lint:allow mutationlog replay path; single-threaded by construction
+	s.mlog.LogAdd(id)
+}

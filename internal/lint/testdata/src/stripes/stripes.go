@@ -1,0 +1,66 @@
+// Package stripes is the fixture mirror of the repository's striping
+// primitive: same type name, same method set, trivial bodies. The lockorder
+// analyzer classifies by shape (a type named MutexSet in a package named
+// stripes), so this mini package exercises exactly the production rules.
+package stripes
+
+import "sync"
+
+type MutexSet struct {
+	mus []sync.Mutex
+}
+
+func New(n int) *MutexSet { return &MutexSet{mus: make([]sync.Mutex, n)} }
+
+func (s *MutexSet) Index(key uint64) int { return int(key % uint64(len(s.mus))) }
+
+func (s *MutexSet) Of(key uint64) *sync.Mutex { return &s.mus[s.Index(key)] }
+
+func (s *MutexSet) Lock(i int) { s.mus[i].Lock() }
+
+func (s *MutexSet) Unlock(i int) { s.mus[i].Unlock() }
+
+func (s *MutexSet) LockPair(a, b uint64) (int, int) {
+	i, j := s.Index(a), s.Index(b)
+	if i > j {
+		i, j = j, i
+	}
+	s.mus[i].Lock()
+	if j != i {
+		s.mus[j].Lock()
+	}
+	return i, j
+}
+
+func (s *MutexSet) UnlockPair(i, j int) {
+	if j != i {
+		s.mus[j].Unlock()
+	}
+	s.mus[i].Unlock()
+}
+
+func (s *MutexSet) LockSet(idx []int) {
+	for _, i := range idx {
+		s.mus[i].Lock()
+	}
+}
+
+func (s *MutexSet) UnlockSet(idx []int) {
+	for k := len(idx) - 1; k >= 0; k-- {
+		s.mus[idx[k]].Unlock()
+	}
+}
+
+func (s *MutexSet) CollectIndices(keys []uint64, buf []int) []int {
+	buf = buf[:0]
+	for _, k := range keys {
+		buf = append(buf, s.Index(k))
+	}
+	return buf
+}
+
+func (s *MutexSet) LockKeys(keys []uint64, buf []int) []int {
+	buf = s.CollectIndices(keys, buf)
+	s.LockSet(buf)
+	return buf
+}

@@ -1,0 +1,227 @@
+package lint
+
+// The `go vet -vettool` unit protocol, implemented directly on the standard
+// library (the x/tools unitchecker is not a dependency of this module).
+// cmd/go drives a vettool like this:
+//
+//	walklint -V=full          # version fingerprint for the build cache
+//	walklint -flags           # JSON description of supported flags
+//	walklint <dir>/vet.cfg    # analyze one package unit
+//
+// The cfg file is JSON describing one type-checking unit: source files,
+// the import map, and the export-data file of every dependency. We
+// type-check with go/importer's gc importer reading that export data, run
+// the suite, write the (empty — the suite is factless) .vetx output the
+// build cache expects, and report diagnostics on stderr, exiting 2 when
+// there are findings, exactly as the x/tools unitchecker does.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// unitConfig mirrors the JSON shape cmd/go writes for vet tools.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is cmd/walklint's entry point. Exits 0 on a clean run, 1 on driver
+// errors, 2 when the suite has findings.
+func Main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V"):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// No analyzer flags: everything is declared in source
+			// (//lint:allow) so a run's meaning never depends on invocation.
+			fmt.Println("[]")
+			return
+		case args[0] == "-version":
+			fmt.Println(Version)
+			return
+		}
+	}
+	if len(args) != 1 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(os.Stderr, "usage: walklint [-V=full | -flags | -version | <unit>.cfg]\n")
+		fmt.Fprintf(os.Stderr, "run it via: go vet -vettool=$(command -v walklint) ./...\n")
+		os.Exit(1)
+	}
+	diags, err := runUnitFile(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "walklint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", relPos(d.Pos), d.Analyzer, d.Message)
+		}
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the fingerprint line cmd/go hashes into its build
+// cache key: the executable's content hash plus the suite Version, so
+// rebuilding walklint with changed analyzers invalidates cached vet
+// results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(h, "%s", Version)
+	fmt.Printf("%s version %s buildID=%x\n", name, Version, h.Sum(nil)[:16])
+}
+
+// runUnitFile analyzes one vet unit. Packages outside the current module
+// (the standard library, eventual dependencies) are skipped — the suite
+// encodes this repository's invariants.
+func runUnitFile(cfgPath string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The build cache expects a facts file for every unit, including the
+	// ones we skip.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("walklint: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly || !inModule(&cfg) {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typeCheckUnit(&cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+	return RunPackage(fset, files, pkg, info, cfg.Dir, All())
+}
+
+func inModule(cfg *unitConfig) bool {
+	if cfg.ModulePath == "" {
+		return false
+	}
+	return cfg.ImportPath == cfg.ModulePath ||
+		strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/") ||
+		strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+".") // synthetic test mains: fastppr/….test
+}
+
+// typeCheckUnit type-checks the unit against the export data cmd/go
+// already compiled for every dependency.
+func typeCheckUnit(cfg *unitConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImp.Import(importPath)
+	})
+	tcfg := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(cfg.Compiler, buildArch()),
+	}
+	if v := cfg.GoVersion; v != "" {
+		tcfg.GoVersion = v
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+// relPos renders a diagnostic position relative to the working directory
+// when possible, matching go vet's own output style.
+func relPos(p token.Position) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return p.String()
+	}
+	rel, err := filepath.Rel(wd, p.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return p.String()
+	}
+	q := p
+	q.Filename = rel
+	return q.String()
+}

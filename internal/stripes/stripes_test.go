@@ -106,3 +106,81 @@ func TestLockPairSameStripe(t *testing.T) {
 	i, j = s.LockPair(a, b)
 	s.UnlockPair(i, j)
 }
+
+// TestLockKeysEmpty: an empty key slice is a legal degenerate freeze — no
+// stripes collected, no locks taken, and the set stays fully usable.
+func TestLockKeysEmpty(t *testing.T) {
+	s := NewMutexSet(8)
+	idx := s.LockKeys(nil, nil)
+	if len(idx) != 0 {
+		t.Fatalf("LockKeys(nil) collected stripes: %v", idx)
+	}
+	s.UnlockSet(idx) // must be a no-op, not a panic
+	// Nothing may be left held.
+	for i := range s.mus {
+		if !s.mus[i].TryLock() {
+			t.Fatalf("stripe %d left locked after empty LockKeys/UnlockSet", i)
+		}
+		s.mus[i].Unlock()
+	}
+	// Same through LockSet directly.
+	s.LockSet(nil)
+	s.UnlockSet(nil)
+}
+
+// TestLockKeysAllColliding: keys that all hash to one stripe must collapse
+// to a single acquisition (no self-deadlock) that actually excludes.
+func TestLockKeysAllColliding(t *testing.T) {
+	s := NewMutexSet(4)
+	keys := make([]uint64, 32)
+	want := s.Index(0)
+	n := 0
+	for k := uint64(0); n < len(keys); k++ {
+		if s.Index(k) == want {
+			keys[n] = k
+			n++
+		}
+	}
+	idx := s.LockKeys(keys, nil)
+	if len(idx) != 1 || idx[0] != want {
+		t.Fatalf("LockKeys over colliding keys = %v, want [%d]", idx, want)
+	}
+	if s.mus[want].TryLock() {
+		t.Fatal("colliding stripe not actually held after LockKeys")
+	}
+	s.UnlockSet(idx)
+	if !s.mus[want].TryLock() {
+		t.Fatal("colliding stripe still held after UnlockSet")
+	}
+	s.mus[want].Unlock()
+}
+
+// TestLockKeysReusedBuf: a reused buffer arriving non-empty (stale indices
+// from a previous freeze) must be reset, not merged into the new set.
+func TestLockKeysReusedBuf(t *testing.T) {
+	s := NewMutexSet(16)
+	stale := s.LockKeys([]uint64{1, 2, 3, 4, 5}, nil)
+	s.UnlockSet(stale)
+	if len(stale) == 0 {
+		t.Fatal("setup produced no stale indices")
+	}
+	fresh := s.CollectIndices([]uint64{100}, nil)
+	got := s.LockKeys([]uint64{100}, stale)
+	if !slices.Equal(got, fresh) {
+		t.Fatalf("LockKeys with stale buf = %v, want %v", got, fresh)
+	}
+	// Only the fresh stripe may be held: every other stripe must TryLock.
+	for i := range s.mus {
+		if i == fresh[0] {
+			if s.mus[i].TryLock() {
+				t.Fatalf("stripe %d should be held", i)
+			}
+			continue
+		}
+		if !s.mus[i].TryLock() {
+			t.Fatalf("stale stripe %d locked by buffer reuse", i)
+		}
+		s.mus[i].Unlock()
+	}
+	s.UnlockSet(got)
+}

@@ -179,6 +179,7 @@ func (px *posIndex) appendTo(dst []PosHit) []PosHit {
 		return dst
 	}
 	segs := make([]SegmentID, 0, len(px.m))
+	//lint:allow determinism key collection only; segs is sorted on the next line before any emission
 	for seg := range px.m {
 		segs = append(segs, seg)
 	}
@@ -196,6 +197,7 @@ func (px *posIndex) appendTo(dst []PosHit) []PosHit {
 // deduplicate across buckets.
 func (px *posIndex) appendSegs(dst []SegmentID) []SegmentID {
 	if px.m != nil {
+		//lint:allow determinism unordered by contract; every caller sorts and dedups dst across buckets
 		for seg := range px.m {
 			dst = append(dst, seg)
 		}
